@@ -1,0 +1,16 @@
+"""F1 — committed-throughput timeline through one migration (figure F1).
+
+Expected shape: the speculative composition shows the shortest reply gap
+through the hand-off; stop-the-world's gap includes the whole state
+transfer; Raft pays a sequence of single-server steps.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import exp_f1_timeline
+
+
+def test_f1_timeline(benchmark):
+    out = run_once(benchmark, exp_f1_timeline, preload=60_000)
+    spec = out.data["speculative"]["gap_after_reconfig"]
+    stw = out.data["stw"]["gap_after_reconfig"]
+    assert spec < stw, (spec, stw)

@@ -1,0 +1,18 @@
+"""F2 — reconfiguration storms (figure F2).
+
+Expected shape: as the interval between rolling replacements shrinks, the
+speculative pipeline sustains throughput while stop-the-world degrades
+(transfers serialize into the ordering path).
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import exp_f2_storm
+
+
+def test_f2_storm(benchmark):
+    intervals = (1.0, 0.25)
+    out = run_once(benchmark, exp_f2_storm, intervals=intervals, rounds=6)
+    fastest = intervals[-1]
+    spec = out.data[("speculative", fastest)]["throughput"]
+    stw = out.data[("stw", fastest)]["throughput"]
+    assert spec > stw, (spec, stw)

@@ -1,0 +1,17 @@
+"""F3 — client latency percentiles under periodic reconfiguration (fig F3).
+
+Expected shape: medians are similar; the speculative composition keeps the
+tail (p99/max) below stop-the-world's, whose stalls surface as client
+timeouts and retries.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import exp_f3_latency
+
+
+def test_f3_latency(benchmark):
+    out = run_once(benchmark, exp_f3_latency, period=1.0, rounds=4)
+    spec = out.data["speculative"]
+    stw = out.data["stw"]
+    assert spec.max_ms <= stw.max_ms * 1.5
+    assert spec.count > 0 and stw.count > 0

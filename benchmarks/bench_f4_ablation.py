@@ -1,0 +1,15 @@
+"""F4 — ablation of the speculation pipeline depth (figure F4).
+
+Expected shape: depth 1 (stop-the-world) performs worst under a storm;
+unbounded depth performs best; intermediate depths fall between.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import exp_f4_ablation
+
+
+def test_f4_ablation(benchmark):
+    out = run_once(benchmark, exp_f4_ablation, depths=(1, 2, None))
+    depth1 = out.data[1]["throughput"]
+    unbounded = out.data[None]["throughput"]
+    assert unbounded > depth1, (depth1, unbounded)

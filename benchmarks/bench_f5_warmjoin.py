@@ -1,0 +1,18 @@
+"""F5 — warm standby (observer) promotion vs cold join (figure F5).
+
+Expected shape: warm-join latency is flat in state size (the observer's
+state is already local); cold-join latency grows with the snapshot.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import exp_f5_warmjoin
+
+
+def test_f5_warmjoin(benchmark):
+    preloads = (10_000, 120_000)
+    out = run_once(benchmark, exp_f5_warmjoin, preloads=preloads)
+    warm_small = out.data[("warm (observer)", preloads[0])]
+    warm_large = out.data[("warm (observer)", preloads[-1])]
+    cold_large = out.data[("cold (snapshot)", preloads[-1])]
+    assert warm_large < warm_small * 3 + 0.05   # flat-ish in state size
+    assert cold_large > warm_large * 3          # cold pays the transfer

@@ -1,0 +1,19 @@
+"""T1 — steady-state overhead of the composition (DESIGN.md experiment T1).
+
+Regenerates the cluster-size sweep comparing the raw static block, the
+composition (speculative and stop-the-world — identical with zero
+reconfigurations), and Raft. Expected shape: the composition's throughput
+is within a small factor of the raw block; Raft is broadly comparable.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import exp_t1_overhead
+
+
+def test_t1_overhead(benchmark):
+    out = run_once(benchmark, exp_t1_overhead, sizes=(3, 5, 7), run_for=2.0)
+    for n in (3, 5, 7):
+        raw = out.data[("raw-static", n)]["throughput"]
+        composed = out.data[("speculative", n)]["throughput"]
+        # The composition layer must not cost more than 30% of throughput.
+        assert composed > raw * 0.7, (n, raw, composed)

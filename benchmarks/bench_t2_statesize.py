@@ -1,0 +1,23 @@
+"""T2 — hand-off latency vs application state size (table T2).
+
+Expected shape (the paper's core liveness claim): time until ORDERING
+resumes in the new configuration is constant for the speculative
+composition but grows with snapshot size for stop-the-world.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import exp_t2_statesize
+
+
+def test_t2_statesize(benchmark):
+    preloads = (1_000, 30_000, 120_000)
+    out = run_once(benchmark, exp_t2_statesize, preloads=preloads)
+    spec_small = out.data[("speculative", preloads[0])]["order_resume"]
+    spec_large = out.data[("speculative", preloads[-1])]["order_resume"]
+    stw_small = out.data[("stw", preloads[0])]["order_resume"]
+    stw_large = out.data[("stw", preloads[-1])]["order_resume"]
+    # Speculative ordering latency is state-size independent (within 3x);
+    # stop-the-world grows by an order of magnitude across this sweep.
+    assert spec_large < spec_small * 3 + 0.05
+    assert stw_large > stw_small * 5
+    assert stw_large > spec_large * 5

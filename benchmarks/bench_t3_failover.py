@@ -1,0 +1,17 @@
+"""T3 — crash + replacement availability (table T3).
+
+Expected shape: all protocols survive follower and leader crashes with a
+replacement reconfiguration; leader crashes cost an election on top.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import exp_t3_failover
+
+
+def test_t3_failover(benchmark):
+    out = run_once(benchmark, exp_t3_failover)
+    for kind in ("speculative", "stw", "raft"):
+        for label in ("follower", "likely leader"):
+            entry = out.data[(kind, label)]
+            assert entry["throughput"] > 50, (kind, label, entry)
+            assert entry["gap"] < 2.5, (kind, label, entry)

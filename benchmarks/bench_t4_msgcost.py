@@ -1,0 +1,16 @@
+"""T4 — message and byte cost per operation and per reconfiguration.
+
+Expected shape: steady-state message costs are within the same order for
+all protocols; a reconfiguration costs a bounded number of extra messages.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import exp_t4_msgcost
+
+
+def test_t4_msgcost(benchmark):
+    out = run_once(benchmark, exp_t4_msgcost, ops=400)
+    for kind in ("speculative", "stw", "raft"):
+        entry = out.data[kind]
+        assert 2 < entry["steady_msgs_per_op"] < 60, (kind, entry)
+        assert entry["steady_bytes_per_op"] > 100

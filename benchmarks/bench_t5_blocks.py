@@ -1,0 +1,16 @@
+"""T5 — block-agnosticism: the composition over interchangeable engines.
+
+Expected shape: both blocks complete the same reconfiguration workload;
+the sequencer is cheaper per op (no quorum round trips), Multi-Paxos is
+fault tolerant. Both reach the same final epoch.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import exp_t5_blocks
+
+
+def test_t5_blocks(benchmark):
+    out = run_once(benchmark, exp_t5_blocks)
+    assert out.data["paxos"]["throughput"] > 100
+    assert out.data["sequencer"]["throughput"] > 100
+    assert out.data["sequencer"]["msgs_per_op"] < out.data["paxos"]["msgs_per_op"]

@@ -1,0 +1,19 @@
+"""T6 — failure-detector sensitivity ablation (table T6).
+
+Expected shape: the client-visible outage after a leader crash grows
+roughly with the suspicion timeout; very aggressive settings buy little
+because client retry latency dominates.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import exp_t6_detector
+
+
+def test_t6_detector(benchmark):
+    timeouts = (0.05, 0.4)
+    out = run_once(benchmark, exp_t6_detector, timeouts=timeouts)
+    fast = out.data[timeouts[0]]["gap"]
+    slow = out.data[timeouts[-1]]["gap"]
+    assert slow > fast, (fast, slow)
+    for timeout in timeouts:
+        assert out.data[timeout]["throughput"] > 100

@@ -1,0 +1,19 @@
+"""T7 — leader-lease local reads vs ordered reads (table T7).
+
+Expected shape: on read-heavy workloads, lease reads raise throughput and
+cut messages per op substantially; the advantage grows with read ratio.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import exp_t7_leases
+
+
+def test_t7_leases(benchmark):
+    ratios = (0.5, 0.9)
+    out = run_once(benchmark, exp_t7_leases, read_ratios=ratios)
+    heavy = ratios[-1]
+    log_run = out.data[(heavy, "log")]
+    lease_run = out.data[(heavy, "lease")]
+    assert lease_run["throughput"] > log_run["throughput"] * 1.2
+    assert lease_run["msgs_per_op"] < log_run["msgs_per_op"] * 0.7
+    assert lease_run["lease_reads"] > 100

@@ -1,0 +1,26 @@
+"""T8 — leader-side batching ablation (table T8).
+
+Expected shape: messages per operation fall monotonically with the batch
+window while median latency rises by roughly the window; throughput stays
+within the same order (simulated CPU is free, so the win is message
+amortisation, not compute).
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import exp_t8_batching
+
+
+def test_t8_batching(benchmark):
+    delays = (0.0, 2.0)
+    out = run_once(benchmark, exp_t8_batching, delays_ms=delays)
+    off = out.data[0.0]
+    on = out.data[2.0]
+    assert on["msgs_per_op"] < off["msgs_per_op"] * 0.6
+    assert on["throughput"] > off["throughput"] * 0.5
+    # a batched command observes roughly the window as extra latency
+    assert on["p50_ms"] > off["p50_ms"]
+    # ...but with CPU-bound replicas batching wins on BOTH axes:
+    cpu_off = out.data[("cpu", 0.0)]
+    cpu_on = out.data[("cpu", 2.0)]
+    assert cpu_on["throughput"] > cpu_off["throughput"] * 1.2
+    assert cpu_on["p50_ms"] < cpu_off["p50_ms"]

@@ -1,0 +1,14 @@
+"""Benchmark-suite configuration.
+
+Every benchmark runs its experiment exactly once under
+``benchmark.pedantic`` (simulations are deterministic; repeated rounds
+would measure Python variance, not the system) and prints the paper-style
+table/figure it regenerates.
+"""
+
+
+def run_once(benchmark, experiment, **kwargs):
+    """Execute ``experiment`` once under the benchmark timer and print it."""
+    output = benchmark.pedantic(lambda: experiment(**kwargs), rounds=1, iterations=1)
+    output.print()
+    return output

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Reconfiguration storm: speculative pipelining vs stop-the-world.
+
+Fires a rolling replacement every 250 ms — faster than a state transfer
+completes — and compares the paper's speculative composition against the
+stop-the-world baseline on the same workload and seed. The speculative
+pipeline keeps ordering through overlapping hand-offs; the baseline
+serializes transfers into the ordering path.
+
+Run:  python examples/reconfiguration_storm.py
+"""
+
+from repro.bench.harness import run_experiment
+from repro.bench.experiments import TRANSFER_LATENCY
+from repro.metrics.report import Table
+from repro.workload.schedules import migration_storm
+
+
+def main() -> None:
+    schedule_steps = migration_storm(
+        ["n1", "n2", "n3"], start=1.0, interval=0.25, count=8, first_fresh=4
+    )
+    table = Table(
+        "storm: 2-of-3 migration every 250ms, 8 rounds, 40k-entry state",
+        ["mode", "ops/s", "longest reply gap (ms)", "final epoch"],
+    )
+    for kind, label in (("speculative", "speculative (paper)"),
+                        ("stw", "stop-the-world")):
+        result = run_experiment(
+            kind,
+            seed=42,
+            clients=4,
+            run_for=5.0,
+            preload=40_000,
+            schedule=schedule_steps,
+            latency=TRANSFER_LATENCY,
+        )
+        table.add_row(
+            label,
+            f"{result.throughput():.0f}",
+            f"{result.unavailability() * 1000:.0f}",
+            result.service.newest_epoch(),
+        )
+    table.print()
+    print("\nNote how the speculative pipeline reaches the same final epoch")
+    print("with higher sustained throughput and a smaller worst-case gap.")
+
+
+if __name__ == "__main__":
+    main()

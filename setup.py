@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The execution environment has no network access and no ``wheel`` package,
+so PEP 517 editable installs fail; this legacy ``setup.py`` keeps
+``pip install -e .`` working offline. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

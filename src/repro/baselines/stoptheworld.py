@@ -1,0 +1,58 @@
+"""Stop-the-world reconfiguration baseline.
+
+Mechanically this is the paper's composition with the speculation gate set
+to depth 1: a member may not *start* the new epoch's engine until the
+boundary state of that epoch is locally available (for surviving members,
+after executing the old epoch; for joiners, after the snapshot transfer
+completes). Ordering therefore halts for the duration of the hand-off —
+the classic "wedge the old instance, copy the state, start the new one"
+procedure.
+
+Using the same code path for the baseline is deliberate: the *only*
+difference between this and the paper's protocol is whether ordering may
+overlap state hand-off, so any performance difference measured in the
+benchmarks is attributable to speculation and nothing else.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.consensus.interface import EngineFactory
+from repro.consensus.multipaxos import MultiPaxosEngine
+from repro.core.reconfig import CommitListener, ReconfigParams
+from repro.core.service import ReplicatedService
+from repro.core.statemachine import StateMachine
+from repro.sim.runner import Simulator
+
+
+def stop_the_world_params(
+    engine_factory: EngineFactory | None = None,
+) -> ReconfigParams:
+    """ReconfigParams for the stop-the-world hand-off (pipeline depth 1)."""
+    return ReconfigParams(
+        engine_factory=engine_factory or MultiPaxosEngine.factory(),
+        pipeline_depth=1,
+    )
+
+
+class StopTheWorldService(ReplicatedService):
+    """A :class:`ReplicatedService` with speculative hand-off disabled."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        members: Iterable[str],
+        app_factory: Callable[[], StateMachine],
+        engine_factory: EngineFactory | None = None,
+        commit_listener: CommitListener | None = None,
+        order_listener=None,
+    ):
+        super().__init__(
+            sim,
+            members,
+            app_factory,
+            params=stop_the_world_params(engine_factory),
+            commit_listener=commit_listener,
+            order_listener=order_listener,
+        )

@@ -1,0 +1,232 @@
+"""The shared experiment runner.
+
+:func:`run_experiment` builds a simulator, one of the comparable services
+(the paper's speculative composition, the stop-the-world baseline, Raft,
+or the raw static block), a measured client pool, an optional
+reconfiguration schedule and failure schedule — runs it, and hands back a
+:class:`RunResult` with every signal the tables and figures need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.apps.kvstore import KvStateMachine
+from repro.baselines.raft_service import RaftService
+from repro.bench.rawstatic import RawPaxosService
+from repro.consensus.interface import EngineFactory
+from repro.consensus.multipaxos import MultiPaxosEngine
+from repro.consensus.sequencer import SequencerEngine
+from repro.core.client import ClientParams
+from repro.core.reconfig import ReconfigParams
+from repro.core.service import ReplicatedService
+from repro.errors import ConfigurationError
+from repro.metrics.collectors import CommitCollector, CompletionCollector
+from repro.sim.failures import FailureInjector, FailureSchedule
+from repro.sim.network import LatencyModel
+from repro.sim.runner import Simulator
+from repro.workload.clients import ClientPool
+from repro.workload.generators import KvOperationMix
+from repro.workload.schedules import ReconfigStep
+
+#: protocol kinds run_experiment understands.
+KINDS = ("speculative", "stw", "raft", "raw-static")
+
+
+def _engine_factory(engine: str, engine_params=None) -> EngineFactory:
+    if engine == "paxos":
+        return MultiPaxosEngine.factory(engine_params)
+    if engine == "sequencer":
+        return SequencerEngine.factory(engine_params)
+    raise ConfigurationError(f"unknown engine {engine!r}")
+
+
+@dataclass(slots=True)
+class RunResult:
+    """Everything measured in one experiment run."""
+
+    kind: str
+    sim: Simulator
+    service: Any
+    pool: ClientPool
+    commits: CommitCollector
+    #: ordering events: when positions become final (== commits for Raft,
+    #: where ordering and commitment coincide; ahead of commits for the
+    #: speculative composition during hand-off).
+    orders: CommitCollector
+    started_at: float
+    ended_at: float
+    schedule: list[ReconfigStep] = field(default_factory=list)
+
+    @property
+    def collector(self) -> CompletionCollector:
+        return self.pool.collector
+
+    @property
+    def duration(self) -> float:
+        return self.ended_at - self.started_at
+
+    def throughput(self) -> float:
+        return self.collector.throughput(self.started_at, self.ended_at)
+
+    def unavailability(self) -> float:
+        return self.collector.unavailability(self.started_at, self.ended_at)
+
+    def messages_per_op(self) -> float:
+        ops = max(1, self.collector.count)
+        return self.sim.network.stats.messages_sent / ops
+
+    def bytes_per_op(self) -> float:
+        ops = max(1, self.collector.count)
+        return self.sim.network.stats.bytes_sent / ops
+
+
+def build_service(
+    kind: str,
+    sim: Simulator,
+    members: list[str],
+    app_factory: Callable[[], Any],
+    engine: str = "paxos",
+    pipeline_depth: int | None = None,
+    commit_listener=None,
+    order_listener=None,
+    engine_params=None,
+    read_mode: str = "log",
+):
+    """Construct the service named by ``kind`` (see :data:`KINDS`)."""
+    if kind in ("speculative", "stw"):
+        depth = 1 if kind == "stw" else pipeline_depth
+        return ReplicatedService(
+            sim,
+            members,
+            app_factory,
+            params=ReconfigParams(
+                engine_factory=_engine_factory(engine, engine_params),
+                pipeline_depth=depth,
+                read_mode=read_mode,
+            ),
+            commit_listener=commit_listener,
+            order_listener=order_listener,
+        )
+    if kind == "raft":
+        return RaftService(sim, members, app_factory, commit_listener=commit_listener)
+    if kind == "raw-static":
+        return RawPaxosService(
+            sim, members, app_factory, _engine_factory(engine, engine_params)
+        )
+    raise ConfigurationError(f"unknown service kind {kind!r}")
+
+
+def run_experiment(
+    kind: str,
+    *,
+    seed: int = 42,
+    members: tuple[str, ...] = ("n1", "n2", "n3"),
+    clients: int = 4,
+    ops_per_client: int | None = None,
+    run_for: float = 5.0,
+    warmup: float = 0.3,
+    read_ratio: float = 0.5,
+    cas_ratio: float = 0.0,
+    keyspace: int = 64,
+    value_size: int = 64,
+    preload: int = 0,
+    schedule: list[ReconfigStep] | None = None,
+    failures: FailureSchedule | None = None,
+    engine: str = "paxos",
+    pipeline_depth: int | None = None,
+    request_timeout: float = 0.5,
+    latency: LatencyModel | None = None,
+    bin_width: float = 0.1,
+    trace: bool = False,
+    engine_params=None,
+    read_mode: str = "log",
+    processing_delay: float = 0.0,
+) -> RunResult:
+    """Run one workload under one protocol; see DESIGN.md experiment index.
+
+    ``run_for`` bounds the measured window after ``warmup``; clients with a
+    finite ``ops_per_client`` may stop earlier. The simulation is allowed a
+    drain tail beyond the window so in-flight work settles.
+    """
+    if kind not in KINDS:
+        raise ConfigurationError(f"kind must be one of {KINDS}")
+    sim = Simulator(seed=seed, latency=latency, trace_enabled=trace)
+
+    def app_factory() -> KvStateMachine:
+        app = KvStateMachine(value_bytes=value_size)
+        if preload:
+            app.preload(preload)
+        return app
+
+    commits = CommitCollector(bin_width=bin_width)
+    orders = CommitCollector(bin_width=bin_width)
+
+    def order_listener(time, payload, epoch, slot):
+        orders.listener(time, payload, epoch, slot, None)
+
+    service = build_service(
+        kind,
+        sim,
+        list(members),
+        app_factory,
+        engine=engine,
+        pipeline_depth=pipeline_depth,
+        commit_listener=None if kind == "raw-static" else commits.listener,
+        order_listener=None if kind in ("raw-static", "raft") else order_listener,
+        engine_params=engine_params,
+        read_mode=read_mode,
+    )
+    if kind == "raft":
+        orders = commits  # Raft orders and commits in the same instant
+
+    if processing_delay > 0.0:
+        for replica in getattr(service, "replicas", {}).values():
+            replica.processing_delay = processing_delay
+
+    mix = KvOperationMix(
+        sim.rng.fork("mix"),
+        keyspace=keyspace,
+        read_ratio=read_ratio,
+        cas_ratio=cas_ratio,
+        value_size=value_size,
+    )
+    pool = ClientPool(
+        service,
+        mix,
+        count=clients,
+        ops_per_client=ops_per_client,
+        params=ClientParams(start_delay=warmup, request_timeout=request_timeout),
+        bin_width=bin_width,
+    )
+
+    if schedule:
+        for step in schedule:
+            service.reconfigure_at(step.time, list(step.members))
+    if failures is not None:
+        FailureInjector(sim, failures).arm()
+
+    started_at = warmup
+    ended_at = warmup + run_for
+    if ops_per_client is not None:
+        sim.run_until(lambda: pool.all_finished, timeout=ended_at + 30.0)
+        ended_at = min(ended_at, sim.now)
+    else:
+        sim.run(until=ended_at + 1.0)
+
+    # Stop unbounded clients so nothing keeps issuing beyond the window.
+    for client in pool.clients:
+        client.finished = True
+
+    return RunResult(
+        kind=kind,
+        sim=sim,
+        service=service,
+        pool=pool,
+        commits=commits,
+        orders=orders,
+        started_at=started_at,
+        ended_at=ended_at,
+        schedule=list(schedule or []),
+    )

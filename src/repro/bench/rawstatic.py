@@ -1,0 +1,137 @@
+"""Raw static-SMR service: the building block with no composition on top.
+
+Used by experiment T1 to price the composition layer: the same Multi-Paxos
+engine, the same client protocol, but no epochs, no cut detection, no
+announce/transfer machinery — and, of course, no way to reconfigure. Any
+throughput difference between this and the (unreconfigured) composition is
+the composition's overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.consensus.interface import EngineFactory, InstanceMessage, Transport
+from repro.consensus.multipaxos import MultiPaxosEngine
+from repro.core.client import (
+    Client,
+    ClientParams,
+    ClientReply,
+    ClientRequest,
+    OperationSource,
+    OpRecord,
+)
+from repro.core.statemachine import DedupStateMachine, StateMachine
+from repro.errors import ConfigurationError
+from repro.sim.node import Process
+from repro.sim.runner import Simulator
+from repro.types import ClientId, Command, CommandId, Decision, Membership, NodeId
+
+
+class RawPaxosReplica(Process):
+    """A static SMR member that also answers clients. No reconfiguration."""
+
+    INSTANCE_ID = "static"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: NodeId,
+        membership: Membership,
+        app_factory: Callable[[], StateMachine],
+        engine_factory: EngineFactory,
+    ):
+        super().__init__(sim, node)
+        self.state = DedupStateMachine(app_factory())
+        self._pending: dict[CommandId, NodeId] = {}
+        self._replies: dict[CommandId, Any] = {}
+        self.applied = 0
+        transport = Transport(self, self.INSTANCE_ID)
+        self.engine = engine_factory(transport, membership, self._on_decide)
+
+    def on_start(self) -> None:
+        self.engine.start()
+
+    def _on_decide(self, decision: Decision) -> None:
+        from repro.consensus.interface import Batch
+
+        payloads = (
+            decision.payload.payloads
+            if isinstance(decision.payload, Batch)
+            else (decision.payload,)
+        )
+        for payload in payloads:
+            if not isinstance(payload, Command):
+                continue
+            value = self.state.apply(payload)
+            self.applied += 1
+            self._replies[payload.cid] = value
+            client = self._pending.pop(payload.cid, None)
+            if client is not None:
+                self.send(
+                    client, ClientReply(payload.cid, value, 0, self.applied), size=128
+                )
+
+    def on_message(self, payload: Any, sender: NodeId) -> None:
+        if isinstance(payload, InstanceMessage):
+            if payload.instance == self.INSTANCE_ID and not self.engine.stopped:
+                self.engine.on_message(payload.inner, sender)
+        elif isinstance(payload, ClientRequest):
+            command = payload.command
+            if command.cid in self._replies:
+                self.send(
+                    payload.reply_to,
+                    ClientReply(command.cid, self._replies[command.cid], 0, self.applied),
+                    size=128,
+                )
+                return
+            self._pending[command.cid] = payload.reply_to
+            self.engine.propose(command)
+
+    def on_crash(self) -> None:
+        self.engine.stop()
+
+
+class RawPaxosService:
+    """Facade matching the client-facing surface of ReplicatedService."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        members: Iterable[str],
+        app_factory: Callable[[], StateMachine],
+        engine_factory: EngineFactory | None = None,
+    ):
+        self.sim = sim
+        membership = Membership.from_iter(members)
+        if len(membership) == 0:
+            raise ConfigurationError("static service needs at least one member")
+        self.membership = membership
+        factory = engine_factory or MultiPaxosEngine.factory()
+        self.replicas = {
+            node: RawPaxosReplica(sim, node, membership, app_factory, factory)
+            for node in membership
+        }
+        self._clients: list[Client] = []
+
+    def make_client(
+        self,
+        name: str,
+        operations: OperationSource,
+        params: ClientParams | None = None,
+        on_complete: Callable[[OpRecord], None] | None = None,
+    ) -> Client:
+        client = Client(
+            self.sim,
+            ClientId(name),
+            self.membership,
+            operations,
+            params=params,
+            on_complete=on_complete,
+        )
+        self._clients.append(client)
+        return client
+
+    @property
+    def clients(self) -> list[Client]:
+        return list(self._clients)

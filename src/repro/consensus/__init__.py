@@ -1,0 +1,44 @@
+"""Non-reconfigurable (static-membership) SMR building blocks.
+
+This package provides the black boxes the paper composes:
+
+* :mod:`repro.consensus.synod` — single-decree Paxos, the agreement kernel.
+* :mod:`repro.consensus.multipaxos` — a static Multi-Paxos replicated log
+  with heartbeat-based leader election, the primary building block.
+* :mod:`repro.consensus.sequencer` — a trivial single-orderer log, a second
+  (non-fault-tolerant) block proving the composition is block-agnostic.
+* :mod:`repro.consensus.interface` — the narrow API the composition layer
+  relies on: ``propose`` in, ordered gap-free ``Decision`` stream out.
+
+Nothing in here knows anything about reconfiguration.
+"""
+
+from repro.consensus.ballot import Ballot
+from repro.consensus.interface import (
+    InstanceMessage,
+    Noop,
+    SmrEngine,
+    StaticSmrHost,
+    Transport,
+    proposal_key,
+)
+from repro.consensus.log import DecidedLog
+from repro.consensus.multipaxos import MultiPaxosEngine, PaxosParams
+from repro.consensus.sequencer import SequencerEngine
+from repro.consensus.synod import SynodAcceptor, SynodProposer
+
+__all__ = [
+    "Ballot",
+    "DecidedLog",
+    "InstanceMessage",
+    "MultiPaxosEngine",
+    "Noop",
+    "PaxosParams",
+    "SequencerEngine",
+    "SmrEngine",
+    "StaticSmrHost",
+    "SynodAcceptor",
+    "SynodProposer",
+    "Transport",
+    "proposal_key",
+]

@@ -1,0 +1,34 @@
+"""Ballot numbers for Paxos-family protocols.
+
+A ballot is a pair ``(round, proposer)`` ordered lexicographically, so two
+candidates can never collide on the same ballot: rounds break most ties and
+the proposer id breaks the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.types import NodeId
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Ballot:
+    """Totally ordered ballot (round, proposer id)."""
+
+    round: int
+    proposer: NodeId
+
+    ZERO: ClassVar["Ballot"]
+
+    def next_for(self, proposer: NodeId) -> "Ballot":
+        """Smallest ballot owned by ``proposer`` strictly greater than self."""
+        return Ballot(self.round + 1, proposer)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.round},{self.proposer})"
+
+
+# The zero ballot precedes every real ballot (real rounds start at 1).
+Ballot.ZERO = Ballot(0, NodeId(""))

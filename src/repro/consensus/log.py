@@ -1,0 +1,77 @@
+"""In-order delivery buffer for decided slots.
+
+Engines learn decisions out of order (a ``Decide`` for slot 7 may arrive
+before slot 5's). :class:`DecidedLog` stores decided values by slot and
+releases them to the application callback strictly in slot order with no
+gaps and no duplicates, which is the contract of the static SMR interface.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import AgreementViolation
+from repro.types import Decision, Slot, Time
+
+
+class DecidedLog:
+    """Gap-free, in-order delivery of decided slots."""
+
+    def __init__(self, on_deliver: Callable[[Decision], None], first_slot: Slot = 0):
+        self._on_deliver = on_deliver
+        self._decided: dict[Slot, Any] = {}
+        self.next_to_deliver: Slot = first_slot
+        self.max_decided: Slot = first_slot - 1
+
+    def __len__(self) -> int:
+        return len(self._decided)
+
+    def is_decided(self, slot: Slot) -> bool:
+        return slot in self._decided
+
+    def value(self, slot: Slot) -> Any:
+        return self._decided.get(slot)
+
+    def decided_range(self, start: Slot, count: int) -> list[tuple[Slot, Any]]:
+        """Up to ``count`` consecutive decided entries starting at ``start``."""
+        out: list[tuple[Slot, Any]] = []
+        slot = start
+        while len(out) < count and slot in self._decided:
+            out.append((slot, self._decided[slot]))
+            slot += 1
+        return out
+
+    def record(self, slot: Slot, value: Any, now: Time) -> list[Decision]:
+        """Record a decision; returns the decisions released in order.
+
+        Recording the same slot twice with the same value is idempotent;
+        recording a *different* value for an already-decided slot is a
+        safety violation and raises.
+        """
+        if slot in self._decided:
+            if self._decided[slot] != value:
+                raise AgreementViolation(
+                    f"slot {slot} decided twice with different values: "
+                    f"{self._decided[slot]!r} vs {value!r}"
+                )
+            return []
+        self._decided[slot] = value
+        if slot > self.max_decided:
+            self.max_decided = slot
+        released: list[Decision] = []
+        while self.next_to_deliver in self._decided:
+            decision = Decision(
+                slot=self.next_to_deliver,
+                payload=self._decided[self.next_to_deliver],
+                decided_at=now,
+            )
+            self.next_to_deliver += 1
+            released.append(decision)
+        for decision in released:
+            self._on_deliver(decision)
+        return released
+
+    @property
+    def has_gap(self) -> bool:
+        """True when a decided slot exists beyond the delivery watermark."""
+        return self.max_decided >= self.next_to_deliver

@@ -1,0 +1,120 @@
+"""Wire messages of the static SMR engines (Multi-Paxos and sequencer).
+
+All messages are immutable dataclasses. They are *inner* payloads: the
+hosting process wraps them in :class:`repro.consensus.interface.InstanceMessage`
+so several engine instances (one per epoch) can share one network endpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.consensus.ballot import Ballot
+from repro.types import Slot
+
+
+@dataclass(frozen=True, slots=True)
+class Prepare:
+    """Phase-1a: candidate asks acceptors to promise ballot for slots >= base."""
+
+    ballot: Ballot
+    base_slot: Slot
+
+
+@dataclass(frozen=True, slots=True)
+class Promise:
+    """Phase-1b: acceptor promises; carries accepted values for slots >= base.
+
+    ``accepted`` maps slot -> (ballot, value) for every slot at or above the
+    candidate's base for which this acceptor has accepted a value.
+    """
+
+    ballot: Ballot
+    base_slot: Slot
+    accepted: tuple[tuple[Slot, Ballot, Any], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class PrepareNack:
+    """Acceptor refuses a Prepare because it promised a higher ballot."""
+
+    ballot: Ballot
+    promised: Ballot
+
+
+@dataclass(frozen=True, slots=True)
+class Accept:
+    """Phase-2a: leader asks acceptors to accept ``value`` at ``slot``."""
+
+    ballot: Ballot
+    slot: Slot
+    value: Any
+
+
+@dataclass(frozen=True, slots=True)
+class Accepted:
+    """Phase-2b: acceptor accepted (ballot, slot)."""
+
+    ballot: Ballot
+    slot: Slot
+
+
+@dataclass(frozen=True, slots=True)
+class AcceptNack:
+    """Acceptor refuses an Accept because it promised a higher ballot."""
+
+    ballot: Ballot
+    slot: Slot
+    promised: Ballot
+
+
+@dataclass(frozen=True, slots=True)
+class Decide:
+    """Leader (or sequencer) announces the chosen value for ``slot``."""
+
+    slot: Slot
+    value: Any
+
+
+@dataclass(frozen=True, slots=True)
+class Heartbeat:
+    """Leader liveness beacon; carries the decided watermark for catch-up.
+
+    ``sent_at`` is echoed back in :class:`HeartbeatAck` so the leader can
+    compute a read lease anchored at *send* time (safe against in-flight
+    delays).
+    """
+
+    ballot: Ballot
+    max_decided: Slot
+    sent_at: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class HeartbeatAck:
+    """Follower acknowledges a heartbeat; grants a slice of read lease."""
+
+    ballot: Ballot
+    echo: float
+
+
+@dataclass(frozen=True, slots=True)
+class ProposeForward:
+    """A non-leader forwards a client payload to the current leader."""
+
+    payload: Any
+
+
+@dataclass(frozen=True, slots=True)
+class CatchupRequest:
+    """Lagging learner asks for decided entries starting at ``from_slot``."""
+
+    from_slot: Slot
+
+
+@dataclass(frozen=True, slots=True)
+class CatchupReply:
+    """Consecutive decided entries ``(slot, value)`` starting at the request."""
+
+    entries: tuple[tuple[Slot, Any], ...]

@@ -1,0 +1,600 @@
+"""Static Multi-Paxos: the primary non-reconfigurable SMR building block.
+
+One :class:`MultiPaxosEngine` instance runs at each member of a **fixed**
+membership and provides the :class:`repro.consensus.interface.SmrEngine`
+contract: best-effort ``propose``, gap-free in-order decisions out.
+
+Protocol summary
+----------------
+
+* Every member is acceptor + learner; any member may campaign to lead.
+* Ballots are ``(round, node)``; a candidate runs **one** Phase 1 covering
+  all slots at or above its delivery watermark (the classic Multi-Paxos
+  amortisation), then leads Phase 2 per slot.
+* On winning, the leader re-proposes every value reported accepted by its
+  promise quorum (highest ballot wins per slot) and fills unreported gaps
+  below the horizon with ``Noop`` — the standard recovery rule that makes
+  leader turnover safe.
+* The leader heartbeats followers; heartbeats carry the decided watermark,
+  and lagging learners pull missing decisions with catch-up requests, so
+  dropped ``Decide`` messages heal.
+* Followers forward proposals to their current leader hint and retry on a
+  timer; leaders deduplicate by :func:`repro.consensus.interface.proposal_key`
+  so client/host retries do not burn extra slots in the common case.
+
+Fail-stop is the failure model (crashed members never come back with the
+same identity). This is exactly the regime the paper targets: *recovering
+a member is done by reconfiguring*, which is the job of the layer above,
+not of this building block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.consensus.ballot import Ballot
+from repro.consensus.heartbeat import HeartbeatMonitor
+from repro.consensus.interface import Batch, Noop, SmrEngine, Transport, proposal_key
+from repro.consensus.log import DecidedLog
+from repro.consensus import messages as m
+from repro.errors import ConfigurationError
+from repro.sim.events import Timer
+from repro.types import Decision, Membership, NodeId, Slot
+
+
+def payload_size(value: Any) -> int:
+    """Approximate wire size of a proposable payload, in bytes."""
+    return int(getattr(value, "size", 64))
+
+
+@dataclass(slots=True)
+class PaxosParams:
+    """Tunable timing/batching parameters (simulated seconds)."""
+
+    heartbeat_interval: float = 0.025
+    suspect_timeout_min: float = 0.10
+    suspect_timeout_max: float = 0.20
+    proposal_retry_interval: float = 0.10
+    accept_resend_after: float = 0.05
+    catchup_batch: int = 200
+    initial_campaign_delay_max: float = 0.005
+    protocol_overhead_bytes: int = 96
+    #: leader-side batching: commands arriving within this window share
+    #: one slot (and one Phase-2 round trip). 0 disables batching.
+    batch_delay: float = 0.0
+    batch_max: int = 32
+    #: read-lease validity granted per acknowledged heartbeat. Must stay
+    #: strictly below suspect_timeout_min: a follower that just granted a
+    #: lease slice will not campaign (nor, via vote stickiness, vote for a
+    #: challenger) until the lease has expired, which is what makes local
+    #: reads at the leaseholder linearizable. Set to 0 to disable leases.
+    lease_duration: float = 0.08
+
+
+@dataclass(slots=True)
+class _InFlight:
+    """Leader-side bookkeeping for one slot awaiting a quorum of accepts."""
+
+    value: Any
+    acks: set[NodeId] = field(default_factory=set)
+    sent_at: float = 0.0
+
+
+class MultiPaxosEngine(SmrEngine):
+    """One member's slice of a static Multi-Paxos instance."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        membership: Membership,
+        on_decide: Callable[[Decision], None],
+        params: PaxosParams | None = None,
+    ):
+        super().__init__(transport, membership, on_decide)
+        self.params = params if params is not None else PaxosParams()
+        self.quorum = membership.quorum_size
+        self.peers = membership.sorted_nodes()
+
+        # Acceptor state.
+        self.promised: Ballot = Ballot.ZERO
+        self.accepted: dict[Slot, tuple[Ballot, Any]] = {}
+
+        # Learner state.
+        self.log = DecidedLog(on_decide)
+
+        # Leadership state.
+        self.is_leader = False
+        self.ballot: Ballot = Ballot.ZERO  # our own campaign/leading ballot
+        self.max_round_seen = 0
+        self.leader_hint: NodeId | None = None
+        self._campaigning = False
+        self._promises: dict[NodeId, m.Promise] = {}
+        self._campaign_base: Slot = 0
+        self.next_slot: Slot = 0
+        self.inflight: dict[Slot, _InFlight] = {}
+        self.assigned_keys: dict[Any, Slot] = {}
+
+        # Proposal routing state (every node).
+        self.awaiting: dict[Any, Any] = {}  # key -> payload, retried until decided
+
+        self._monitor = HeartbeatMonitor(
+            transport,
+            self.params.suspect_timeout_min,
+            self.params.suspect_timeout_max,
+            self._campaign,
+        )
+        self._hb_timer: Timer | None = None
+        self._retry_timer: Timer | None = None
+        self._last_catchup_request = -1.0
+        #: leader-side batching buffer (commands awaiting a shared slot).
+        self._batch: list[Any] = []
+        self._batch_keys: set[Any] = set()
+        self._batch_timer: Timer | None = None
+        #: follower -> newest heartbeat send-time it acknowledged.
+        self._hb_echoes: dict[NodeId, float] = {}
+        self._last_leader_contact = float("-inf")
+        if self.params.lease_duration >= self.params.suspect_timeout_min:
+            raise ConfigurationError(
+                "lease_duration must be strictly below suspect_timeout_min "
+                "or a new leader could be elected inside a live lease"
+            )
+
+    # -- factory ---------------------------------------------------------------
+
+    @classmethod
+    def factory(cls, params: PaxosParams | None = None):
+        """Build an :data:`EngineFactory` closing over shared parameters."""
+
+        def make(
+            transport: Transport,
+            membership: Membership,
+            on_decide: Callable[[Decision], None],
+        ) -> "MultiPaxosEngine":
+            return cls(transport, membership, on_decide, params=params)
+
+        return make
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        self._monitor.start()
+        self._arm_retry_timer()
+        # The lowest member id campaigns immediately so fresh instances
+        # elect a leader in one round trip instead of one suspicion timeout.
+        if self.transport.node == self.peers[0]:
+            delay = self.transport.rng.uniform(
+                0.0, self.params.initial_campaign_delay_max
+            )
+            self.transport.set_timer(delay, self._campaign, label="initial-campaign")
+
+    def stop(self) -> None:
+        super().stop()
+        self._monitor.stop()
+        if self._hb_timer is not None:
+            self._hb_timer.cancel()
+        if self._retry_timer is not None:
+            self._retry_timer.cancel()
+        if self._batch_timer is not None:
+            self._batch_timer.cancel()
+
+    @property
+    def next_undelivered_slot(self) -> Slot:
+        return self.log.next_to_deliver
+
+    # -- proposing ------------------------------------------------------------------
+
+    def propose(self, payload: Any) -> None:
+        if self.stopped:
+            return
+        key = proposal_key(payload)
+        if key is not None:
+            if key in self.awaiting or self._key_settled(key):
+                # Already in flight or already decided locally: retrying
+                # would only burn a duplicate slot.
+                if not self._key_settled(key):
+                    self._route(payload)
+                return
+            self.awaiting[key] = payload
+        self._route(payload)
+
+    def _key_settled(self, key: Any) -> bool:
+        slot = self.assigned_keys.get(key)
+        return slot is not None and self.log.is_decided(slot)
+
+    def _route(self, payload: Any) -> None:
+        if self.is_leader:
+            self._assign(payload)
+        elif self.leader_hint is not None and self.leader_hint != self.transport.node:
+            self.transport.send(
+                self.leader_hint,
+                m.ProposeForward(payload),
+                size=self.params.protocol_overhead_bytes + payload_size(payload),
+            )
+        # else: no leader known yet; the retry timer re-routes later.
+
+    def _assign(self, payload: Any) -> None:
+        """Leader: bind ``payload`` to a fresh slot and run Phase 2."""
+        key = proposal_key(payload)
+        if key is not None:
+            if key in self._batch_keys:
+                return  # already buffered in the open batch
+            existing = self.assigned_keys.get(key)
+            if existing is not None and (
+                existing in self.inflight or self.log.is_decided(existing)
+            ):
+                return  # duplicate submission
+        if self.params.batch_delay > 0 and self._batchable(payload):
+            self._batch.append(payload)
+            if key is not None:
+                self._batch_keys.add(key)
+            if len(self._batch) >= self.params.batch_max:
+                self._flush_batch()
+            elif self._batch_timer is None or not self._batch_timer.active:
+                self._batch_timer = self.transport.set_timer(
+                    self.params.batch_delay, self._flush_batch, label="batch"
+                )
+            return
+        # Non-batchable payloads (reconfigurations, noops) must own their
+        # slot and must not overtake buffered commands: flush first.
+        self._flush_batch()
+        slot = self.next_slot
+        self.next_slot += 1
+        if key is not None:
+            self.assigned_keys[key] = slot
+        self._send_accepts(slot, payload)
+
+    def _batchable(self, payload: Any) -> bool:
+        # Only plain client commands batch; anything with seal semantics
+        # (ReconfigCommand) or no identity (Noop) rides alone.
+        from repro.core.command import ReconfigCommand
+
+        return (
+            proposal_key(payload) is not None
+            and not isinstance(payload, ReconfigCommand)
+            and not isinstance(payload, Noop)
+        )
+
+    def _flush_batch(self) -> None:
+        if not self._batch:
+            return
+        if self._batch_timer is not None:
+            self._batch_timer.cancel()
+        payloads = tuple(self._batch)
+        self._batch.clear()
+        self._batch_keys.clear()
+        slot = self.next_slot
+        self.next_slot += 1
+        value: Any = payloads[0] if len(payloads) == 1 else Batch(payloads)
+        for payload in payloads:
+            key = proposal_key(payload)
+            if key is not None:
+                self.assigned_keys[key] = slot
+        self._send_accepts(slot, value)
+
+    def _send_accepts(self, slot: Slot, value: Any, only: set[NodeId] | None = None) -> None:
+        entry = self.inflight.get(slot)
+        if entry is None:
+            entry = _InFlight(value=value)
+            self.inflight[slot] = entry
+        entry.sent_at = self.transport.now
+        accept = m.Accept(self.ballot, slot, value)
+        size = self.params.protocol_overhead_bytes + payload_size(value)
+        for peer in self.peers:
+            if only is not None and peer not in only:
+                continue
+            if peer == self.transport.node:
+                self._handle_accept(accept, peer)
+            else:
+                self.transport.send(peer, accept, size=size)
+
+    # -- leader election ---------------------------------------------------------------
+
+    def _campaign(self) -> None:
+        if self.stopped or self.is_leader:
+            return
+        self._campaigning = True
+        round_number = self.max_round_seen + 1
+        self.max_round_seen = round_number
+        self.ballot = Ballot(round_number, self.transport.node)
+        self._promises.clear()
+        self._campaign_base = self.log.next_to_deliver
+        self.transport.trace("campaign", ballot=str(self.ballot), base=self._campaign_base)
+        prepare = m.Prepare(self.ballot, self._campaign_base)
+        for peer in self.peers:
+            if peer == self.transport.node:
+                self._handle_prepare(prepare, peer)
+            else:
+                self.transport.send(
+                    peer, prepare, size=self.params.protocol_overhead_bytes
+                )
+
+    def _become_leader(self) -> None:
+        self._campaigning = False
+        self.is_leader = True
+        self.leader_hint = self.transport.node
+        self._monitor.stop()
+        self.transport.trace("leader-elected", ballot=str(self.ballot))
+
+        # Merge quorum knowledge: per slot, the highest-ballot accepted value
+        # must be re-proposed; locally known decisions win outright.
+        merged: dict[Slot, tuple[Ballot, Any]] = {}
+        for promise in self._promises.values():
+            for slot, ballot, value in promise.accepted:
+                current = merged.get(slot)
+                if current is None or ballot > current[0]:
+                    merged[slot] = (ballot, value)
+        horizon = self._campaign_base - 1
+        if merged:
+            horizon = max(horizon, max(merged))
+        if self.log.max_decided > horizon:
+            horizon = self.log.max_decided
+
+        self.inflight.clear()
+        for slot in range(self._campaign_base, horizon + 1):
+            if self.log.is_decided(slot):
+                value = self.log.value(slot)
+            elif slot in merged:
+                value = merged[slot][1]
+            else:
+                value = Noop("gap")
+            key = proposal_key(value)
+            if key is not None:
+                self.assigned_keys[key] = slot
+            self._send_accepts(slot, value)
+        self.next_slot = horizon + 1
+
+        self._heartbeat_tick()
+        # Re-route everything we were asked to propose but that never made
+        # it through the previous leader.
+        for payload in list(self.awaiting.values()):
+            self._route(payload)
+
+    def _step_down(self, observed: Ballot) -> None:
+        if observed.round > self.max_round_seen:
+            self.max_round_seen = observed.round
+        was_leader = self.is_leader
+        self.is_leader = False
+        self._campaigning = False
+        self.inflight.clear()
+        self._hb_echoes.clear()
+        self._batch.clear()
+        self._batch_keys.clear()
+        if self._batch_timer is not None:
+            self._batch_timer.cancel()
+        if was_leader:
+            self.transport.trace("leader-stepdown", observed=str(observed))
+            if self._hb_timer is not None:
+                self._hb_timer.cancel()
+            self._monitor.start()
+
+    # -- heartbeats -----------------------------------------------------------------------
+
+    def _heartbeat_tick(self) -> None:
+        if self.stopped or not self.is_leader:
+            return
+        beat = m.Heartbeat(self.ballot, self.log.max_decided, sent_at=self.transport.now)
+        for peer in self.peers:
+            if peer != self.transport.node:
+                self.transport.send(peer, beat, size=self.params.protocol_overhead_bytes)
+        # Nudge stuck Phase-2 slots (lost Accept/Accepted messages).
+        now = self.transport.now
+        for slot, entry in list(self.inflight.items()):
+            if now - entry.sent_at >= self.params.accept_resend_after:
+                missing = {p for p in self.peers if p not in entry.acks}
+                self._send_accepts(slot, entry.value, only=missing)
+        self._hb_timer = self.transport.set_timer(
+            self.params.heartbeat_interval, self._heartbeat_tick, label="hb"
+        )
+
+    def _arm_retry_timer(self) -> None:
+        if self.stopped:
+            return
+        self._retry_timer = self.transport.set_timer(
+            self.params.proposal_retry_interval, self._retry_tick, label="proposal-retry"
+        )
+
+    def _retry_tick(self) -> None:
+        if self.stopped:
+            return
+        for key, payload in list(self.awaiting.items()):
+            if self._key_settled(key):
+                del self.awaiting[key]
+            else:
+                self._route(payload)
+        self._arm_retry_timer()
+
+    # -- message dispatch ---------------------------------------------------------------------
+
+    def on_message(self, inner: Any, sender: NodeId) -> None:
+        if self.stopped:
+            return
+        if isinstance(inner, m.Prepare):
+            self._handle_prepare(inner, sender)
+        elif isinstance(inner, m.Promise):
+            self._handle_promise(inner, sender)
+        elif isinstance(inner, m.PrepareNack):
+            self._handle_prepare_nack(inner, sender)
+        elif isinstance(inner, m.Accept):
+            self._handle_accept(inner, sender)
+        elif isinstance(inner, m.Accepted):
+            self._handle_accepted(inner, sender)
+        elif isinstance(inner, m.AcceptNack):
+            self._handle_accept_nack(inner, sender)
+        elif isinstance(inner, m.Decide):
+            self._record_decision(inner.slot, inner.value)
+        elif isinstance(inner, m.Heartbeat):
+            self._handle_heartbeat(inner, sender)
+        elif isinstance(inner, m.HeartbeatAck):
+            self._handle_heartbeat_ack(inner, sender)
+        elif isinstance(inner, m.ProposeForward):
+            self.propose(inner.payload)
+        elif isinstance(inner, m.CatchupRequest):
+            self._handle_catchup_request(inner, sender)
+        elif isinstance(inner, m.CatchupReply):
+            for slot, value in inner.entries:
+                self._record_decision(slot, value)
+
+    # -- acceptor ----------------------------------------------------------------------------
+
+    def _handle_prepare(self, msg: m.Prepare, sender: NodeId) -> None:
+        # Vote stickiness: while we are hearing from a live leader (or are
+        # the leader), refuse challengers without raising our promise —
+        # this is what makes the read lease sound, and it also damps
+        # disruptive campaigns. The challenger's own suspicion timeout
+        # guarantees it only campaigns once real silence has elapsed.
+        recently_led = self.is_leader or (
+            self.transport.now - self._last_leader_contact
+            < self.params.suspect_timeout_min
+        )
+        if recently_led and msg.ballot.proposer != self.leader_hint:
+            self._reply(sender, m.PrepareNack(msg.ballot, self.promised))
+            return
+        if msg.ballot.round > self.max_round_seen:
+            self.max_round_seen = msg.ballot.round
+        if msg.ballot > self.promised:
+            self.promised = msg.ballot
+            # Granting a promise re-arms suspicion, the usual duel damper.
+            self._monitor.heard_from_leader()
+            accepted = tuple(
+                (slot, ballot, value)
+                for slot, (ballot, value) in sorted(self.accepted.items())
+                if slot >= msg.base_slot
+            )
+            reply = m.Promise(msg.ballot, msg.base_slot, accepted)
+        else:
+            reply = m.PrepareNack(msg.ballot, self.promised)
+        self._reply(sender, reply)
+
+    def _handle_accept(self, msg: m.Accept, sender: NodeId) -> None:
+        if msg.ballot.round > self.max_round_seen:
+            self.max_round_seen = msg.ballot.round
+        if msg.ballot >= self.promised:
+            self.promised = msg.ballot
+            self.accepted[msg.slot] = (msg.ballot, msg.value)
+            self.leader_hint = msg.ballot.proposer
+            self._last_leader_contact = self.transport.now
+            self._monitor.heard_from_leader()
+            self._reply(sender, m.Accepted(msg.ballot, msg.slot))
+        else:
+            self._reply(sender, m.AcceptNack(msg.ballot, msg.slot, self.promised))
+
+    def _reply(self, dest: NodeId, reply: Any) -> None:
+        if dest == self.transport.node:
+            self.on_message(reply, dest)
+        else:
+            self.transport.send(dest, reply, size=self.params.protocol_overhead_bytes)
+
+    # -- candidate / leader ---------------------------------------------------------------------
+
+    def _handle_promise(self, msg: m.Promise, sender: NodeId) -> None:
+        if not self._campaigning or msg.ballot != self.ballot:
+            return
+        self._promises[sender] = msg
+        if len(self._promises) >= self.quorum:
+            self._become_leader()
+
+    def _handle_prepare_nack(self, msg: m.PrepareNack, sender: NodeId) -> None:
+        if msg.ballot != self.ballot:
+            return
+        if msg.promised > self.ballot:
+            self._step_down(msg.promised)
+
+    def _handle_accepted(self, msg: m.Accepted, sender: NodeId) -> None:
+        if not self.is_leader or msg.ballot != self.ballot:
+            return
+        entry = self.inflight.get(msg.slot)
+        if entry is None:
+            return
+        entry.acks.add(sender)
+        if len(entry.acks) >= self.quorum:
+            value = entry.value
+            del self.inflight[msg.slot]
+            self._record_decision(msg.slot, value)
+            decide = m.Decide(msg.slot, value)
+            size = self.params.protocol_overhead_bytes + payload_size(value)
+            for peer in self.peers:
+                if peer != self.transport.node:
+                    self.transport.send(peer, decide, size=size)
+
+    def _handle_accept_nack(self, msg: m.AcceptNack, sender: NodeId) -> None:
+        if msg.ballot != self.ballot:
+            return
+        if msg.promised > self.ballot:
+            self._step_down(msg.promised)
+
+    # -- learner ------------------------------------------------------------------------------------
+
+    def _record_decision(self, slot: Slot, value: Any) -> None:
+        released = self.log.record(slot, value, self.transport.now)
+        inner = value.payloads if isinstance(value, Batch) else (value,)
+        for payload in inner:
+            key = proposal_key(payload)
+            if key is not None:
+                self.awaiting.pop(key, None)
+                self.assigned_keys.setdefault(key, slot)
+        if released:
+            self.transport.trace(
+                "decide", upto=self.log.next_to_deliver - 1, count=len(released)
+            )
+
+    def _handle_heartbeat(self, msg: m.Heartbeat, sender: NodeId) -> None:
+        if msg.ballot.round > self.max_round_seen:
+            self.max_round_seen = msg.ballot.round
+        if msg.ballot >= self.promised:
+            self.leader_hint = msg.ballot.proposer
+            self._last_leader_contact = self.transport.now
+            self._monitor.heard_from_leader()
+            if self.is_leader and msg.ballot > self.ballot:
+                self._step_down(msg.ballot)
+            elif self.params.lease_duration > 0:
+                self._reply(sender, m.HeartbeatAck(msg.ballot, msg.sent_at))
+        if msg.max_decided >= self.log.next_to_deliver:
+            self._request_catchup(sender)
+
+    def _handle_heartbeat_ack(self, msg: m.HeartbeatAck, sender: NodeId) -> None:
+        if not self.is_leader or msg.ballot != self.ballot:
+            return
+        previous = self._hb_echoes.get(sender, float("-inf"))
+        if msg.echo > previous:
+            self._hb_echoes[sender] = msg.echo
+
+    def has_read_lease(self, now: float) -> bool:
+        """True while a quorum acknowledged heartbeats recently enough.
+
+        The lease is anchored at heartbeat *send* time: with the quorum's
+        (quorum-1)-th freshest echo at time t, no other member can be
+        elected (vote stickiness + suspicion timeouts exceed the lease)
+        before ``t + lease_duration``, hence no write can commit that this
+        leader has not itself ordered.
+        """
+        if not self.is_leader or self.params.lease_duration <= 0:
+            return False
+        others_needed = self.quorum - 1
+        if others_needed == 0:
+            return True
+        echoes = sorted(self._hb_echoes.values(), reverse=True)
+        if len(echoes) < others_needed:
+            return False
+        anchor = echoes[others_needed - 1]
+        return now < anchor + self.params.lease_duration
+
+    def _request_catchup(self, target: NodeId) -> None:
+        now = self.transport.now
+        if now - self._last_catchup_request < self.params.heartbeat_interval:
+            return
+        self._last_catchup_request = now
+        self.transport.send(
+            target,
+            m.CatchupRequest(self.log.next_to_deliver),
+            size=self.params.protocol_overhead_bytes,
+        )
+
+    def _handle_catchup_request(self, msg: m.CatchupRequest, sender: NodeId) -> None:
+        entries = self.log.decided_range(msg.from_slot, self.params.catchup_batch)
+        if not entries:
+            return
+        size = self.params.protocol_overhead_bytes + sum(
+            payload_size(v) for _, v in entries
+        )
+        self.transport.send(sender, m.CatchupReply(tuple(entries)), size=size)

@@ -1,0 +1,32 @@
+"""Reconfiguration commands.
+
+A reconfiguration is an *ordinary command* proposed to the current static
+instance — that is the heart of the composition: no special wedge/stop API
+is demanded of the building block. The first ``ReconfigCommand`` decided in
+an epoch's log deterministically terminates that epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.types import CommandId, Membership
+
+
+@dataclass(frozen=True, slots=True)
+class ReconfigCommand:
+    """Request to switch the service to ``new_members``.
+
+    Carries a :class:`CommandId` like any client command so that engine- and
+    application-level deduplication apply to it uniformly (admin retries and
+    orphan re-proposal must not fork the configuration chain — the chain
+    cannot fork anyway, since each epoch seals at the *first* reconfig in
+    its log, but dedup avoids wasted epochs).
+    """
+
+    cid: CommandId
+    new_members: Membership
+    size: int = 128
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Reconfig({self.cid}, ->{self.new_members})"

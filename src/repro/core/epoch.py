@@ -1,0 +1,62 @@
+"""Per-epoch runtime state held by a reconfigurable replica.
+
+An :class:`EpochRuntime` tracks everything one replica knows about one
+epoch: its configuration, its (possibly absent) engine, the decided
+effective log, the cut position, and the boundary snapshot needed to start
+executing it. The replica in :mod:`repro.core.reconfig` owns a chain of
+these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.consensus.interface import SmrEngine
+from repro.types import Configuration, Slot
+
+
+@dataclass(slots=True)
+class EpochRuntime:
+    """One replica's view of one epoch."""
+
+    config: Configuration
+    #: engine instance if this replica is a member of the epoch, else None.
+    engine: SmrEngine | None = None
+    #: whether engine.start() has been called (speculation gate).
+    engine_started: bool = False
+    #: effective-log entries delivered in order so far (payloads).
+    effective: list[Any] = field(default_factory=list)
+    #: slot of the first ReconfigCommand decided, once known.
+    cut_slot: Slot | None = None
+    #: next configuration (set when sealed).
+    next_config: Configuration | None = None
+    #: boundary snapshot (application state at the start of this epoch).
+    start_state: Any = None
+    start_state_ready: bool = False
+    #: how many effective entries have been executed locally.
+    executed: int = 0
+    #: count of decisions orphaned past the cut (diagnostics).
+    orphaned: int = 0
+
+    @property
+    def sealed(self) -> bool:
+        """True once the cut position is known at this replica."""
+        return self.cut_slot is not None
+
+    @property
+    def effective_complete(self) -> bool:
+        """True when every effective entry (up to the cut) is present."""
+        return self.sealed and len(self.effective) == self.cut_slot + 1
+
+    @property
+    def fully_executed(self) -> bool:
+        """True when the whole effective log has been executed locally."""
+        return self.effective_complete and self.executed == len(self.effective)
+
+    def describe(self) -> str:  # pragma: no cover - cosmetic
+        state = "sealed" if self.sealed else "open"
+        return (
+            f"epoch {self.config.epoch} {self.config.members} {state} "
+            f"decided={len(self.effective)} executed={self.executed}"
+        )

@@ -1,0 +1,923 @@
+"""The reconfigurable replica: composing static SMR instances.
+
+This module implements the paper's protocol. Each replica hosts a *chain*
+of epochs; epoch ``e`` wraps one static SMR engine over the fixed member
+set ``C_e``. The moving parts:
+
+Effective-log cut
+    Reconfiguration requests are ordinary payloads ordered by the current
+    engine. The **first** ``ReconfigCommand`` delivered in an epoch's log
+    seals the epoch at that slot: the epoch's effective log is exactly the
+    prefix up to and including the cut. Because the cut is a pure function
+    of the (agreed) decided log, every member computes the same cut with
+    no extra coordination and no "stop" API on the black box.
+
+Orphan re-proposal
+    The black box keeps deciding slots past the cut (it cannot be told to
+    stop). Those decisions are *orphans*: their payloads are re-proposed
+    into the newest epoch. Engine-level key dedup plus the exactly-once
+    apply layer make this safe; nothing acknowledged is ever lost and
+    nothing executes twice.
+
+Chain construction
+    Sealing epoch ``e`` opens epoch ``e+1`` over the membership named by
+    the cut command. New members (in ``C_{e+1}`` but not ``C_e``) learn of
+    the epoch via ``EpochAnnounce`` and fetch the boundary snapshot from
+    old members.
+
+Speculative pipelining (the paper's liveness point)
+    Ordering in epoch ``e+1`` starts as soon as the epoch is known —
+    *before* the boundary state is available. Decided-but-not-yet-
+    executable commands accumulate; execution (and client replies) catch
+    up the moment the boundary state lands. ``ReconfigParams.pipeline_depth``
+    gates this: ``None`` is the paper's unbounded pipeline, ``1`` disables
+    speculation entirely (the stop-the-world baseline), and intermediate
+    depths support the ablation experiment F4.
+"""
+
+from __future__ import annotations
+
+from copy import deepcopy
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.consensus.interface import (
+    Batch,
+    EngineFactory,
+    InstanceMessage,
+    Transport,
+)
+from repro.core.client import ClientReply, ClientRequest, Redirect
+from repro.core.command import ReconfigCommand
+from repro.core.epoch import EpochRuntime
+from repro.core.state_transfer import (
+    SnapshotChunkReply,
+    SnapshotChunkRequest,
+    SnapshotReply,
+    SnapshotRequest,
+    SnapshotUnavailable,
+    TransferTask,
+)
+from repro.core.statemachine import DedupStateMachine, StateMachine
+from repro.errors import ProtocolError
+from repro.sim.node import Process
+from repro.sim.runner import Simulator
+from repro.types import (
+    Command,
+    CommandId,
+    Configuration,
+    Decision,
+    EpochId,
+    Membership,
+    NodeId,
+    Time,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class EpochAnnounce:
+    """Tell members of a new configuration that their epoch exists.
+
+    Sent by every sealing member of the previous epoch to every member of
+    the new one; idempotent on receipt. ``prev_members`` tells joiners whom
+    to ask for the boundary snapshot.
+    """
+
+    config: Configuration
+    prev_members: Membership
+
+
+@dataclass(frozen=True, slots=True)
+class ObserverSubscribe:
+    """A non-voting standby asks a member to stream the virtual log to it.
+
+    Observers (learners) warm up *before* being added to the membership:
+    they receive a bootstrap (boundary snapshot + effective entries so far)
+    and then every subsequent effective entry. A later reconfiguration that
+    promotes the observer finds its state already local, so the hand-off
+    costs no bulk transfer — the warm-join ablation (experiment F5).
+    """
+
+
+@dataclass(frozen=True, slots=True)
+class ObserverBootstrap:
+    """Sponsor -> observer: everything needed to start tracking.
+
+    ``epochs`` lists ``(config, effective_entries, cut_slot)`` for every
+    epoch from ``start_epoch`` on, in order; ``boundary`` is the
+    application state at the start of ``start_epoch`` (None = fresh).
+    """
+
+    start_epoch: EpochId
+    boundary: Any
+    boundary_bytes: int
+    epochs: tuple[tuple[Configuration, tuple, Any], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class ObserverUpdate:
+    """Sponsor -> observer: one new effective entry."""
+
+    config: Configuration
+    slot: int
+    payload: Any
+
+
+@dataclass(slots=True)
+class ReconfigParams:
+    """Composition-layer parameters."""
+
+    engine_factory: EngineFactory
+    #: None = unbounded speculation (the paper); 1 = stop-the-world.
+    pipeline_depth: int | None = None
+    transfer_retry_interval: float = 0.05
+    #: None = ship the snapshot in one message; otherwise stream it as a
+    #: train of chunks of this many bytes (resumable across source crashes).
+    transfer_chunk_bytes: int | None = None
+    #: grace before a sealed, fully-executed epoch's engine is stopped.
+    engine_gc_grace: float = 1.0
+    #: boundary snapshots cached for serving joiners.
+    snapshot_cache_limit: int = 8
+    #: how often a silent observer re-subscribes (sponsor failover).
+    observer_resubscribe_interval: float = 0.5
+    #: members re-announce the newest epoch at this period until it seals,
+    #: so a joiner that missed the (unacknowledged) announce still joins.
+    announce_interval: float = 0.5
+    #: "log" orders every operation; "lease" serves read-only operations
+    #: locally at the current epoch's leaseholding leader (no log round).
+    read_mode: str = "log"
+    #: operations eligible for the lease fast path (pure reads only).
+    read_only_ops: frozenset = frozenset(
+        {"get", "scan", "read", "balance", "holder", "total"}
+    )
+
+
+# Commit listener: (time, payload, epoch, virtual_index, reply_value).
+CommitListener = Callable[[Time, Any, EpochId, int, Any], None]
+
+# Order listener: (time, payload, epoch, slot) — fires when a decision
+# enters an epoch's effective log, i.e. when its position becomes final.
+# This is the signal that keeps flowing during speculative hand-off even
+# though execution (and client replies) wait for the boundary state.
+OrderListener = Callable[[Time, Any, EpochId, int], None]
+
+
+@dataclass(slots=True)
+class _PendingReply:
+    client: NodeId
+    received_at: Time
+
+
+class ReconfigurableReplica(Process):
+    """One server of the reconfigurable replicated service."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: NodeId,
+        app_factory: Callable[[], StateMachine],
+        params: ReconfigParams,
+        initial_config: Configuration | None = None,
+        commit_listener: CommitListener | None = None,
+        order_listener: OrderListener | None = None,
+        observe_from: list[NodeId] | None = None,
+    ):
+        super().__init__(sim, node)
+        self.params = params
+        self.app_factory = app_factory
+        self.commit_listener = commit_listener
+        self.order_listener = order_listener
+        #: nodes this replica streams the virtual log to (we are a sponsor).
+        self._observers: set[NodeId] = set()
+        #: sponsors to subscribe to when running as a warm standby.
+        self._observe_targets: list[NodeId] = list(observe_from or [])
+        self._observe_index = 0
+        self._observer_bootstrapped = False
+        self._last_observed_at = -1.0
+        #: out-of-order observed entries: epoch -> slot -> (config, payload)
+        self._observed_stash: dict[EpochId, dict[int, tuple[Configuration, Any]]] = {}
+
+        self.chain: dict[EpochId, EpochRuntime] = {}
+        self.newest_epoch: EpochId = -1
+        #: first epoch not fully executed locally.
+        self.exec_epoch: EpochId = 0
+        self.virtual_index = 0
+        self.state: DedupStateMachine | None = None
+
+        #: boundary snapshots: epoch -> (snapshot, size); serves joiners.
+        self.boundary_snapshots: dict[EpochId, tuple[Any, int]] = {}
+        self._transfer: TransferTask | None = None
+        self._transfer_timer_armed = False
+
+        self._pending: dict[CommandId, _PendingReply] = {}
+        self._replies: dict[CommandId, tuple[Any, EpochId, int]] = {}
+        self._sealed_cids: set[CommandId] = set()
+        self.committed: list[tuple[Any, EpochId, int]] = []
+        self.lease_reads = 0
+
+        if initial_config is not None:
+            if node not in initial_config.members:
+                raise ProtocolError(
+                    f"{node} bootstrapped with a configuration it is not in"
+                )
+            self.exec_epoch = initial_config.epoch
+            self._open_epoch(initial_config, prev_members=None)
+            runtime = self.chain[initial_config.epoch]
+            runtime.start_state = None  # fresh application state
+            runtime.start_state_ready = True
+            self._maybe_start_engines()
+
+    # ------------------------------------------------------------------
+    # Introspection helpers (used by tests, examples, the harness)
+    # ------------------------------------------------------------------
+
+    @property
+    def newest_config(self) -> Configuration | None:
+        runtime = self.chain.get(self.newest_epoch)
+        return runtime.config if runtime is not None else None
+
+    @property
+    def is_retired(self) -> bool:
+        config = self.newest_config
+        return config is None or self.node not in config.members
+
+    def epoch_runtime(self, epoch: EpochId) -> EpochRuntime | None:
+        return self.chain.get(epoch)
+
+    # ------------------------------------------------------------------
+    # Epoch chain management
+    # ------------------------------------------------------------------
+
+    def _open_epoch(
+        self, config: Configuration, prev_members: Membership | None
+    ) -> None:
+        """Create (or complete) the runtime for ``config``.
+
+        Idempotent; also handles the warm-standby promotion case where the
+        runtime already exists (built from observed entries) but the engine
+        does not (we were not a member when it was created).
+        """
+        runtime = self.chain.get(config.epoch)
+        if runtime is None:
+            runtime = EpochRuntime(config=config)
+            self.chain[config.epoch] = runtime
+            if config.epoch > self.newest_epoch:
+                self.newest_epoch = config.epoch
+            if len(self.chain) == 1:
+                self.exec_epoch = config.epoch
+        if self.node in config.members and runtime.engine is None:
+            transport = Transport(self, f"e{config.epoch}")
+            runtime.engine = self.params.engine_factory(
+                transport,
+                config.members,
+                lambda decision, e=config.epoch: self._on_engine_decide(e, decision),
+            )
+            # A member that cannot compute the boundary locally must fetch
+            # it. "Locally" requires a way to obtain the previous epoch's
+            # effective entries: hosting its engine (we were a member) or
+            # an active observer stream. Merely *knowing about* the
+            # previous epoch (a chain entry with no entry source — the
+            # in/out/in "skipped epoch" case) does not qualify.
+            was_in_prev = prev_members is not None and self.node in prev_members
+            prev_runtime = self.chain.get(config.epoch - 1)
+            warm = (
+                not was_in_prev
+                and prev_runtime is not None
+                and (prev_runtime.engine is not None or bool(self._observe_targets))
+            )
+            if prev_members is not None and not was_in_prev and not warm:
+                if not runtime.start_state_ready:
+                    self._begin_transfer(config.epoch, prev_members)
+            self.trace(
+                "epoch-open",
+                epoch=config.epoch,
+                members=str(config.members),
+                member=True,
+                warm=warm,
+            )
+        self._maybe_start_engines()
+
+    def _maybe_start_engines(self) -> None:
+        """Start created engines allowed by the speculation gate."""
+        depth = self.params.pipeline_depth
+        exec_runtime = self.chain.get(self.exec_epoch)
+        if exec_runtime is not None and exec_runtime.start_state_ready:
+            frontier = self.exec_epoch
+        else:
+            frontier = self.exec_epoch - 1
+        for epoch in sorted(self.chain):
+            runtime = self.chain[epoch]
+            if runtime.engine is None or runtime.engine_started:
+                continue
+            if depth is not None and epoch - frontier > depth - 1:
+                continue
+            runtime.engine_started = True
+            runtime.engine.start()
+            self.trace("engine-start", epoch=epoch, speculative=not runtime.start_state_ready)
+
+    # ------------------------------------------------------------------
+    # Decisions from engines
+    # ------------------------------------------------------------------
+
+    def _on_engine_decide(self, epoch: EpochId, decision: Decision) -> None:
+        runtime = self.chain[epoch]
+        if runtime.sealed and decision.slot > runtime.cut_slot:
+            runtime.orphaned += 1
+            self._repropose_orphan(decision.payload)
+            return
+        if decision.slot < len(runtime.effective):
+            # Already present: a promoted observer heard this entry from
+            # its sponsor before its own engine delivered it. Agreement
+            # guarantees the payloads match; check anyway.
+            if runtime.effective[decision.slot] != decision.payload:
+                raise ProtocolError(
+                    f"epoch {epoch} slot {decision.slot}: engine decision "
+                    f"contradicts observed entry"
+                )
+            return
+        if decision.slot != len(runtime.effective):
+            raise ProtocolError(
+                f"epoch {epoch} delivered slot {decision.slot}, "
+                f"expected {len(runtime.effective)}"
+            )
+        self._append_effective(runtime, decision.slot, decision.payload)
+        self._advance_execution()
+
+    def _append_effective(self, runtime: EpochRuntime, slot: int, payload: Any) -> None:
+        """Append one entry to an epoch's effective log (engine or observed)."""
+        epoch = runtime.config.epoch
+        runtime.effective.append(payload)
+        if self.order_listener is not None:
+            self.order_listener(self.now, payload, epoch, slot)
+        if self._observers:
+            update = ObserverUpdate(runtime.config, slot, payload)
+            size = 64 + int(getattr(payload, "size", 32))
+            for observer in self._observers:
+                self.send(observer, update, size=size)
+        if isinstance(payload, ReconfigCommand) and not runtime.sealed:
+            self._seal_epoch(runtime, slot, payload)
+
+    def _seal_epoch(
+        self, runtime: EpochRuntime, slot: int, command: ReconfigCommand
+    ) -> None:
+        runtime.cut_slot = slot
+        next_config = Configuration(runtime.config.epoch + 1, command.new_members)
+        runtime.next_config = next_config
+        self._sealed_cids.add(command.cid)
+        self.trace(
+            "epoch-seal",
+            epoch=runtime.config.epoch,
+            cut=slot,
+            next_members=str(command.new_members),
+        )
+        was_member = runtime.engine is not None
+        self._open_epoch(next_config, prev_members=runtime.config.members)
+        if was_member:
+            # Only actual members of the sealed epoch announce; observers
+            # learn seals second-hand and must not speak for the epoch.
+            self._announce_epoch(next_config, runtime.config.members)
+
+    def _announce_epoch(self, config: Configuration, prev_members: Membership) -> None:
+        """Announce ``config`` to its members, re-sending until it seals.
+
+        Announces carry no ack, so a single send can vanish into a
+        partition and strand a joiner forever; re-announcing while the
+        epoch is still the newest unsealed one makes epoch discovery
+        self-healing at a cost of a few small messages per interval.
+        """
+        if self.crashed:
+            return
+        runtime = self.chain.get(config.epoch)
+        if runtime is None or runtime.sealed or config.epoch < self.newest_epoch:
+            return
+        announce = EpochAnnounce(config, prev_members)
+        for member in config.members:
+            if member != self.node:
+                self.send(member, announce, size=256)
+        self.set_timer(
+            self.params.announce_interval,
+            lambda: self._announce_epoch(config, prev_members),
+            label="re-announce",
+        )
+
+    def _repropose_orphan(self, payload: Any) -> None:
+        if isinstance(payload, Batch):
+            for inner in payload.payloads:
+                self._repropose_orphan(inner)
+            return
+        if isinstance(payload, ReconfigCommand):
+            if payload.cid in self._sealed_cids:
+                return  # already took effect in an earlier epoch
+        elif not isinstance(payload, Command):
+            return  # noops and other filler need no second life
+        if isinstance(payload, Command) and payload.cid in self._replies:
+            return  # already executed
+        if self._propose_newest(payload):
+            return
+        # We host no engine in any live epoch — we are leaving the cluster
+        # and cannot carry this command forward. Bounce the waiting client
+        # to the new configuration *now*; otherwise it only finds out via
+        # its request timeout, which turns every hand-off into a full
+        # timeout-length outage for the clients caught mid-seal.
+        pending = self._pending.pop(payload.cid, None)
+        if pending is not None:
+            config = self.newest_config
+            if config is not None:
+                self.send(
+                    pending.client,
+                    Redirect(payload.cid, config.members, config.epoch),
+                    size=128,
+                )
+
+    def _propose_newest(self, payload: Any) -> bool:
+        """Propose into the newest *live* epoch we participate in.
+
+        Returns False when every epoch we host an engine for is already
+        sealed (we are leaving the cluster): proposing into a sealed
+        instance only produces orphans that bounce straight back here —
+        callers must instead redirect clients to the new configuration.
+        """
+        for epoch in sorted(self.chain, reverse=True):
+            runtime = self.chain[epoch]
+            engine = runtime.engine
+            if engine is None or engine.stopped:
+                continue
+            if runtime.sealed:
+                return False
+            engine.propose(payload)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Execution pipeline
+    # ------------------------------------------------------------------
+
+    def _advance_execution(self) -> None:
+        while True:
+            runtime = self.chain.get(self.exec_epoch)
+            if runtime is None or not runtime.start_state_ready:
+                break
+            if self.state is None:
+                self._initialise_state(runtime)
+            while runtime.executed < len(runtime.effective):
+                payload = runtime.effective[runtime.executed]
+                runtime.executed += 1
+                self._execute(payload, runtime.config.epoch)
+            if runtime.fully_executed:
+                self._finish_epoch(runtime)
+                continue
+            break
+        self._maybe_start_engines()
+
+    def _initialise_state(self, runtime: EpochRuntime) -> None:
+        self.state = DedupStateMachine(self.app_factory())
+        if runtime.start_state is not None:
+            boundary = runtime.start_state
+            self.state.restore(boundary["state"])
+            self.virtual_index = boundary["vindex"]
+
+    def _execute(self, payload: Any, epoch: EpochId) -> None:
+        assert self.state is not None
+        if isinstance(payload, Batch):
+            # One slot, many commands: each gets its own virtual position.
+            for inner in payload.payloads:
+                self._execute(inner, epoch)
+            return
+        vindex = self.virtual_index
+        self.virtual_index += 1
+        if isinstance(payload, Command):
+            value = self.state.apply(payload)
+            self._complete_command(payload.cid, value, epoch, vindex)
+        elif isinstance(payload, ReconfigCommand):
+            value = f"epoch:{epoch + 1}"
+            self._complete_command(payload.cid, value, epoch, vindex)
+        else:
+            value = None  # Noop filler
+        self.committed.append((payload, epoch, vindex))
+        if self.commit_listener is not None:
+            self.commit_listener(self.now, payload, epoch, vindex, value)
+
+    def _complete_command(
+        self, cid: CommandId, value: Any, epoch: EpochId, vindex: int
+    ) -> None:
+        self._replies[cid] = (value, epoch, vindex)
+        pending = self._pending.pop(cid, None)
+        if pending is not None:
+            self.send(
+                pending.client, ClientReply(cid, value, epoch, vindex), size=128
+            )
+
+    def _finish_epoch(self, runtime: EpochRuntime) -> None:
+        assert self.state is not None
+        epoch = runtime.config.epoch
+        boundary = {"state": self.state.snapshot(), "vindex": self.virtual_index}
+        size = self.state.snapshot_bytes()
+        self.boundary_snapshots[epoch + 1] = (boundary, size)
+        self._trim_snapshot_cache()
+        self.trace("epoch-executed", epoch=epoch, entries=runtime.executed)
+        # Hand the boundary to the next epoch locally, if we host it.
+        next_runtime = self.chain.get(epoch + 1)
+        if next_runtime is not None and not next_runtime.start_state_ready:
+            next_runtime.start_state = boundary
+            next_runtime.start_state_ready = True
+            if self._transfer is not None and self._transfer.epoch == epoch + 1:
+                self._transfer.done = True
+        self.exec_epoch = epoch + 1
+        if runtime.engine is not None:
+            engine = runtime.engine
+            self.set_timer(
+                self.params.engine_gc_grace,
+                lambda: self._gc_engine(epoch, engine),
+                label="engine-gc",
+            )
+
+    def _gc_engine(self, epoch: EpochId, engine) -> None:
+        if engine.stopped:
+            return
+        # Rescue anything still waiting in the dying engine's queue.
+        leftovers = list(getattr(engine, "awaiting", {}).values())
+        engine.stop()
+        for payload in leftovers:
+            self._repropose_orphan(payload)
+        self.trace("engine-gc", epoch=epoch, rescued=len(leftovers))
+
+    def _trim_snapshot_cache(self) -> None:
+        limit = self.params.snapshot_cache_limit
+        while len(self.boundary_snapshots) > limit:
+            del self.boundary_snapshots[min(self.boundary_snapshots)]
+
+    # ------------------------------------------------------------------
+    # State transfer
+    # ------------------------------------------------------------------
+
+    def _begin_transfer(self, epoch: EpochId, sources: Membership) -> None:
+        others = [n for n in sources.sorted_nodes() if n != self.node]
+        if not others:
+            raise ProtocolError(f"no snapshot sources for epoch {epoch}")
+        self._transfer = TransferTask(epoch=epoch, sources=others)
+        self.trace("transfer-begin", epoch=epoch, sources=len(others))
+        self._transfer_tick()
+
+    def _transfer_tick(self) -> None:
+        task = self._transfer
+        if task is None or task.done:
+            self._transfer_timer_armed = False
+            return
+        runtime = self.chain.get(task.epoch)
+        if runtime is not None and runtime.start_state_ready:
+            task.done = True
+            self._transfer_timer_armed = False
+            return
+        source = task.pick_source()
+        if self.params.transfer_chunk_bytes is None:
+            self.send(source, SnapshotRequest(task.epoch), size=64)
+        else:
+            self.send(
+                source,
+                SnapshotChunkRequest(
+                    task.epoch, task.next_chunk, self.params.transfer_chunk_bytes
+                ),
+                size=64,
+            )
+        self._transfer_timer_armed = True
+        self.set_timer(
+            self.params.transfer_retry_interval, self._transfer_tick, label="transfer"
+        )
+
+    def _handle_snapshot_request(self, request: SnapshotRequest, sender: NodeId) -> None:
+        cached = self.boundary_snapshots.get(request.epoch)
+        if cached is None:
+            self.send(sender, SnapshotUnavailable(request.epoch), size=64)
+            return
+        snapshot, size = cached
+        # Deep copy models serialisation: the receiver must not alias our
+        # live state.
+        self.send(
+            sender,
+            SnapshotReply(request.epoch, deepcopy(snapshot), size),
+            size=size + 128,
+        )
+
+    def _handle_snapshot_reply(self, reply: SnapshotReply) -> None:
+        runtime = self.chain.get(reply.epoch)
+        if runtime is None or runtime.start_state_ready:
+            return
+        runtime.start_state = reply.snapshot
+        runtime.start_state_ready = True
+        if self._transfer is not None and self._transfer.epoch == reply.epoch:
+            self._transfer.done = True
+        self.trace("transfer-done", epoch=reply.epoch, bytes=reply.snapshot_bytes)
+        self._adopt_boundary_if_ahead(reply.epoch)
+        self._advance_execution()
+
+    def _adopt_boundary_if_ahead(self, epoch: EpochId) -> None:
+        """Jump the execution frontier to a transferred boundary.
+
+        A boundary snapshot for epoch ``k`` subsumes the history of every
+        epoch before ``k``. Normally transfers land exactly at the
+        execution frontier, but a replica that skipped an epoch as a
+        member (in ``C_{e+1}`` and ``C_{e+3}`` but not ``C_{e+2}``) can be
+        stuck with an earlier epoch it will never be able to execute
+        locally; adopting the later boundary is both safe (the state is
+        agreed) and the only way forward.
+        """
+        if epoch <= self.exec_epoch:
+            return
+        # A transfer is only ever started when the previous epoch cannot be
+        # completed locally, so a transfer landing ahead of the execution
+        # frontier always means the frontier is permanently stuck: adopt.
+        self.trace("boundary-jump", frm=self.exec_epoch, to=epoch)
+        self.exec_epoch = epoch
+        self.state = None  # re-initialise from the adopted boundary
+
+    def _handle_chunk_request(self, request: SnapshotChunkRequest, sender: NodeId) -> None:
+        cached = self.boundary_snapshots.get(request.epoch)
+        if cached is None:
+            self.send(sender, SnapshotUnavailable(request.epoch), size=64)
+            return
+        snapshot, size = cached
+        total = max(1, -(-size // request.chunk_bytes))  # ceil division
+        index = min(request.index, total - 1)
+        final = index == total - 1
+        chunk_size = size - request.chunk_bytes * index if final else request.chunk_bytes
+        self.send(
+            sender,
+            SnapshotChunkReply(
+                request.epoch,
+                index,
+                total,
+                deepcopy(snapshot) if final else None,
+                size,
+            ),
+            size=max(chunk_size, 1) + 128,
+        )
+
+    def _handle_chunk_reply(self, reply: SnapshotChunkReply, sender: NodeId) -> None:
+        task = self._transfer
+        runtime = self.chain.get(reply.epoch)
+        if runtime is None or runtime.start_state_ready:
+            return
+        if task is None or task.epoch != reply.epoch or task.done:
+            return
+        if reply.index != task.next_chunk:
+            return  # stale or duplicated chunk; the timer re-requests
+        task.total_chunks = reply.total_chunks
+        task.next_chunk += 1
+        if reply.index == reply.total_chunks - 1:
+            runtime.start_state = reply.snapshot
+            runtime.start_state_ready = True
+            task.done = True
+            self.trace(
+                "transfer-done",
+                epoch=reply.epoch,
+                bytes=reply.snapshot_bytes,
+                chunks=reply.total_chunks,
+            )
+            self._adopt_boundary_if_ahead(reply.epoch)
+            self._advance_execution()
+        else:
+            # Stream: pull the next chunk immediately from whichever source
+            # just answered (the retry timer covers losses and crashes).
+            self.send(
+                sender,
+                SnapshotChunkRequest(
+                    task.epoch, task.next_chunk, self.params.transfer_chunk_bytes
+                ),
+                size=64,
+            )
+
+    # ------------------------------------------------------------------
+    # Observer (warm standby) protocol
+    # ------------------------------------------------------------------
+
+    def on_start(self) -> None:
+        if self._observe_targets:
+            self._observer_subscribe_tick()
+
+    def _observer_subscribe_tick(self) -> None:
+        """Subscribe (and periodically re-subscribe) to a live sponsor."""
+        if self.crashed or not self._observe_targets:
+            return
+        # Once promoted to a member, stop behaving like an observer.
+        if any(rt.engine is not None for rt in self.chain.values()):
+            return
+        silent_for = self.now - self._last_observed_at
+        if not self._observer_bootstrapped or silent_for >= self.params.observer_resubscribe_interval:
+            target = self._observe_targets[self._observe_index % len(self._observe_targets)]
+            self._observe_index += 1
+            self.send(target, ObserverSubscribe(), size=64)
+        self.set_timer(
+            self.params.observer_resubscribe_interval,
+            self._observer_subscribe_tick,
+            label="observer-subscribe",
+        )
+
+    def _handle_observer_subscribe(self, sender: NodeId) -> None:
+        runtime = self.chain.get(self.exec_epoch)
+        if runtime is None or not runtime.start_state_ready:
+            return  # not bootstrappable yet; the observer will retry
+        self._observers.add(sender)
+        epochs = tuple(
+            (
+                self.chain[epoch].config,
+                tuple(self.chain[epoch].effective),
+                self.chain[epoch].cut_slot,
+            )
+            for epoch in sorted(self.chain)
+            if epoch >= self.exec_epoch
+        )
+        boundary_bytes = self.state.snapshot_bytes() if self.state is not None else 64
+        entry_bytes = sum(
+            int(getattr(payload, "size", 32))
+            for _, entries, _ in epochs
+            for payload in entries
+        )
+        self.send(
+            sender,
+            ObserverBootstrap(
+                start_epoch=self.exec_epoch,
+                boundary=deepcopy(runtime.start_state),
+                boundary_bytes=boundary_bytes,
+                epochs=epochs,
+            ),
+            size=boundary_bytes + entry_bytes + 128,
+        )
+        self.trace("observer-bootstrap-sent", to=str(sender), epochs=len(epochs))
+
+    def _handle_observer_bootstrap(self, msg: ObserverBootstrap) -> None:
+        self._last_observed_at = self.now
+        start_runtime = self.chain.get(msg.start_epoch)
+        if start_runtime is None and self.chain:
+            # A re-bootstrap landed at an epoch we no longer track from;
+            # only accept bootstraps that extend what we have.
+            if msg.start_epoch < min(self.chain):
+                return
+        for config, entries, _cut in msg.epochs:
+            self._open_epoch(config, prev_members=None)
+            runtime = self.chain[config.epoch]
+            if config.epoch == msg.start_epoch and not runtime.start_state_ready:
+                runtime.start_state = msg.boundary
+                runtime.start_state_ready = True
+            for slot, payload in enumerate(entries):
+                self._observe_entry(config, slot, payload)
+        self._observer_bootstrapped = True
+        self.trace("observer-bootstrapped", start=msg.start_epoch)
+        self._advance_execution()
+
+    def _observe_entry(self, config: Configuration, slot: int, payload: Any) -> None:
+        runtime = self.chain.get(config.epoch)
+        if runtime is None:
+            self._open_epoch(config, prev_members=None)
+            runtime = self.chain[config.epoch]
+        if runtime.engine is not None:
+            return  # we are a member here: the engine is authoritative
+        if runtime.sealed and slot > runtime.cut_slot:
+            return  # orphan; observers never re-propose
+        if slot < len(runtime.effective):
+            return  # duplicate
+        if slot > len(runtime.effective):
+            self._observed_stash.setdefault(config.epoch, {})[slot] = (config, payload)
+            return
+        self._append_effective(runtime, slot, payload)
+        # Drain any stashed successors that are now in order.
+        stash = self._observed_stash.get(config.epoch)
+        while stash:
+            next_slot = len(runtime.effective)
+            entry = stash.pop(next_slot, None)
+            if entry is None:
+                break
+            self._append_effective(runtime, next_slot, entry[1])
+        self._advance_execution()
+
+    def _handle_observer_update(self, msg: ObserverUpdate) -> None:
+        self._last_observed_at = self.now
+        self._observe_entry(msg.config, msg.slot, msg.payload)
+
+    # ------------------------------------------------------------------
+    # Client interaction
+    # ------------------------------------------------------------------
+
+    def _handle_client_request(self, request: ClientRequest) -> None:
+        command = request.command
+        cached = self._replies.get(command.cid)
+        if cached is not None:
+            value, epoch, vindex = cached
+            self.send(
+                request.reply_to, ClientReply(command.cid, value, epoch, vindex), size=128
+            )
+            return
+        if (
+            self.params.read_mode == "lease"
+            and command.op in self.params.read_only_ops
+            and self._serve_lease_read(command, request.reply_to)
+        ):
+            return
+        if self.is_retired:
+            config = self.newest_config
+            members = config.members if config is not None else Membership(frozenset())
+            epoch = config.epoch if config is not None else -1
+            self.send(request.reply_to, Redirect(command.cid, members, epoch), size=128)
+            return
+        self._pending[command.cid] = _PendingReply(request.reply_to, self.now)
+        if not self._propose_newest(command):
+            config = self.newest_config
+            if config is not None:
+                self.send(
+                    request.reply_to,
+                    Redirect(command.cid, config.members, config.epoch),
+                    size=128,
+                )
+
+    def _serve_lease_read(self, command: Command, reply_to: NodeId) -> bool:
+        """Serve a read locally if it is provably linearizable to do so.
+
+        Conditions (all must hold — each one is load-bearing):
+
+        1. we lead the **newest** epoch we know and hold a valid read
+           lease there — no other member can be committing writes;
+        2. that epoch is **not sealed** — once sealed, writes move to the
+           next instance, where someone else may already be ordering
+           (the cross-epoch staleness hazard); and the seal is ordered by
+           the leaseholder itself, so "not sealed here" is authoritative;
+        3. our execution is fully caught up with everything we ordered —
+           the local state contains every acknowledged write.
+
+        Failing any condition falls back to the ordered (log) path.
+        """
+        runtime = self.chain.get(self.newest_epoch)
+        if runtime is None or runtime.engine is None or not runtime.engine_started:
+            return False
+        if runtime.sealed:
+            return False
+        if not runtime.engine.has_read_lease(self.now):
+            return False
+        if self.exec_epoch != runtime.config.epoch:
+            return False
+        if not runtime.start_state_ready or runtime.executed != len(runtime.effective):
+            return False
+        if self.state is None:
+            return False
+        # Bypass the dedup layer on purpose: reads mutate nothing and must
+        # not advance the client's dedup sequence (a later retry of an
+        # *older* write would otherwise be misclassified as a duplicate).
+        value = self.state.inner.apply(command)
+        self.lease_reads += 1
+        self.send(
+            reply_to,
+            ClientReply(command.cid, value, runtime.config.epoch, -1),
+            size=128,
+        )
+        return True
+
+    def request_reconfiguration(self, command: ReconfigCommand) -> bool:
+        """Entry point for admin-driven reconfiguration (see service API)."""
+        if command.cid in self._sealed_cids or command.cid in self._replies:
+            return True
+        return self._propose_newest(command)
+
+    # ------------------------------------------------------------------
+    # Message dispatch & lifecycle
+    # ------------------------------------------------------------------
+
+    def on_message(self, payload: Any, sender: NodeId) -> None:
+        if isinstance(payload, InstanceMessage):
+            self._route_instance_message(payload, sender)
+        elif isinstance(payload, ClientRequest):
+            self._handle_client_request(payload)
+        elif isinstance(payload, EpochAnnounce):
+            self._open_epoch(payload.config, prev_members=payload.prev_members)
+        elif isinstance(payload, SnapshotRequest):
+            self._handle_snapshot_request(payload, sender)
+        elif isinstance(payload, SnapshotReply):
+            self._handle_snapshot_reply(payload)
+        elif isinstance(payload, SnapshotChunkRequest):
+            self._handle_chunk_request(payload, sender)
+        elif isinstance(payload, SnapshotChunkReply):
+            self._handle_chunk_reply(payload, sender)
+        elif isinstance(payload, SnapshotUnavailable):
+            pass  # the transfer timer will retry another source
+        elif isinstance(payload, ObserverSubscribe):
+            self._handle_observer_subscribe(sender)
+        elif isinstance(payload, ObserverBootstrap):
+            self._handle_observer_bootstrap(payload)
+        elif isinstance(payload, ObserverUpdate):
+            self._handle_observer_update(payload)
+
+    def _route_instance_message(self, message: InstanceMessage, sender: NodeId) -> None:
+        if not message.instance.startswith("e"):
+            return
+        try:
+            epoch = int(message.instance[1:])
+        except ValueError:
+            return
+        runtime = self.chain.get(epoch)
+        if runtime is None or runtime.engine is None:
+            return  # epoch unknown here (yet); peers retry
+        if runtime.engine.stopped or not runtime.engine_started:
+            return
+        runtime.engine.on_message(message.inner, sender)
+
+    def on_crash(self) -> None:
+        for runtime in self.chain.values():
+            if runtime.engine is not None:
+                runtime.engine.stop()

@@ -1,0 +1,28 @@
+"""Measurement: latency distributions, throughput timelines, gaps, traffic.
+
+The harness records client-observed completions (the honest service-level
+signal) and, optionally, replica-side commits. Reporting helpers render the
+paper-style tables and text "figures" (series) the benchmark suite prints.
+"""
+
+from repro.metrics.collectors import CompletionCollector, CommitCollector
+from repro.metrics.stats import (
+    LatencySummary,
+    Timeline,
+    longest_gap,
+    percentile,
+    summarize_latencies,
+)
+from repro.metrics.report import Series, Table
+
+__all__ = [
+    "CommitCollector",
+    "CompletionCollector",
+    "LatencySummary",
+    "Series",
+    "Table",
+    "Timeline",
+    "longest_gap",
+    "percentile",
+    "summarize_latencies",
+]

@@ -1,0 +1,75 @@
+"""Text rendering for experiment output: tables and series ("figures").
+
+Benchmarks print their results with these helpers so every experiment's
+output has the same shape as a paper table or figure: a caption, aligned
+columns, and for series an ASCII bar chart that makes throughput dips
+visible in a terminal.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class Table:
+    """A paper-style results table rendered as aligned text."""
+
+    def __init__(self, title: str, headers: list[str]):
+        self.title = title
+        self.headers = headers
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        row = [str(cell) for cell in cells]
+        if len(row) != len(self.headers):
+            raise ConfigurationError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt(cells: list[str]) -> str:
+            return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+        rule = "-+-".join("-" * w for w in widths)
+        lines = [f"== {self.title} ==", fmt(self.headers), rule]
+        lines.extend(fmt(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def print(self) -> None:  # pragma: no cover - console output
+        print()
+        print(self.render())
+
+
+class Series:
+    """A labelled (x, y) series rendered as an ASCII bar chart."""
+
+    def __init__(self, title: str, x_label: str, y_label: str, width: int = 50):
+        self.title = title
+        self.x_label = x_label
+        self.y_label = y_label
+        self.width = width
+        self.points: list[tuple[float, float, str]] = []
+
+    def add(self, x: float, y: float, annotation: str = "") -> None:
+        self.points.append((x, y, annotation))
+
+    def render(self) -> str:
+        lines = [f"== {self.title} ==", f"{self.x_label:>12} | {self.y_label}"]
+        if not self.points:
+            return "\n".join(lines + ["(no data)"])
+        peak = max(y for _, y, _ in self.points) or 1.0
+        for x, y, annotation in self.points:
+            bar = "#" * int(round(self.width * y / peak))
+            suffix = f"  <- {annotation}" if annotation else ""
+            lines.append(f"{x:12.3f} | {bar:<{self.width}} {y:10.1f}{suffix}")
+        return "\n".join(lines)
+
+    def print(self) -> None:  # pragma: no cover - console output
+        print()
+        print(self.render())

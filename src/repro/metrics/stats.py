@@ -1,0 +1,110 @@
+"""Statistics primitives: percentiles, summaries, time-binned series.
+
+All times are simulated seconds internally; summaries expose milliseconds
+because that is what the tables print.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.types import Time
+
+
+def percentile(samples: list[float], p: float) -> float:
+    """Nearest-rank percentile; ``p`` in [0, 100]."""
+    if not samples:
+        raise ConfigurationError("percentile of an empty sample set")
+    if not 0.0 <= p <= 100.0:
+        raise ConfigurationError(f"percentile {p} out of range")
+    ordered = sorted(samples)
+    if p == 0.0:
+        return ordered[0]
+    # Nearest-rank definition: the ceil(p/100 * n)-th smallest sample.
+    rank = math.ceil(p / 100.0 * len(ordered)) - 1
+    return ordered[min(max(rank, 0), len(ordered) - 1)]
+
+
+@dataclass(frozen=True, slots=True)
+class LatencySummary:
+    """Latency distribution in milliseconds."""
+
+    count: int
+    mean_ms: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    max_ms: float
+
+    def row(self) -> list[str]:
+        return [
+            str(self.count),
+            f"{self.mean_ms:.2f}",
+            f"{self.p50_ms:.2f}",
+            f"{self.p95_ms:.2f}",
+            f"{self.p99_ms:.2f}",
+            f"{self.max_ms:.2f}",
+        ]
+
+
+def summarize_latencies(latencies_s: list[float]) -> LatencySummary:
+    """Summarize a list of latencies given in seconds."""
+    if not latencies_s:
+        return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    to_ms = [latency * 1000.0 for latency in latencies_s]
+    return LatencySummary(
+        count=len(to_ms),
+        mean_ms=sum(to_ms) / len(to_ms),
+        p50_ms=percentile(to_ms, 50),
+        p95_ms=percentile(to_ms, 95),
+        p99_ms=percentile(to_ms, 99),
+        max_ms=max(to_ms),
+    )
+
+
+def longest_gap(event_times: list[Time], start: Time, end: Time) -> float:
+    """Longest interval inside [start, end] with no events.
+
+    This is the *unavailability window* metric: for committed-command
+    timestamps it measures how long the service went silent (e.g., through
+    a reconfiguration or a failover).
+    """
+    if end <= start:
+        raise ConfigurationError("longest_gap needs start < end")
+    inside = sorted(t for t in event_times if start <= t <= end)
+    if not inside:
+        return end - start
+    gap = inside[0] - start
+    for a, b in zip(inside, inside[1:]):
+        gap = max(gap, b - a)
+    gap = max(gap, end - inside[-1])
+    return gap
+
+
+class Timeline:
+    """Events bucketed into fixed-width time bins (throughput series)."""
+
+    def __init__(self, bin_width: float):
+        if bin_width <= 0:
+            raise ConfigurationError("bin width must be positive")
+        self.bin_width = bin_width
+        self._bins: dict[int, int] = {}
+
+    def record(self, time: Time, count: int = 1) -> None:
+        self._bins[int(time / self.bin_width)] = (
+            self._bins.get(int(time / self.bin_width), 0) + count
+        )
+
+    def series(self, start: Time, end: Time) -> list[tuple[float, float]]:
+        """(bin start time, events per second) covering [start, end]."""
+        first = int(start / self.bin_width)
+        last = int(end / self.bin_width)
+        return [
+            (b * self.bin_width, self._bins.get(b, 0) / self.bin_width)
+            for b in range(first, last + 1)
+        ]
+
+    def total(self) -> int:
+        return sum(self._bins.values())

@@ -1,0 +1,43 @@
+"""Deterministic discrete-event simulation substrate.
+
+The simulator provides everything the replication protocols need from an
+"operating system": a virtual clock, timers, a message-passing network with
+configurable latency/bandwidth/loss/partitions, process lifecycle
+(crash/restart), failure-injection schedules, and structured tracing.
+
+Every run is a pure function of its seed and parameters, which makes
+protocol schedules — including adversarial ones — reproducible in tests and
+benchmarks.
+"""
+
+from repro.sim.events import Event, EventQueue, Timer
+from repro.sim.rng import SeededRng
+from repro.sim.network import (
+    LatencyModel,
+    Message,
+    Network,
+    NetworkStats,
+    ZonedLatencyModel,
+)
+from repro.sim.node import Process
+from repro.sim.failures import FailureInjector, FailureSchedule
+from repro.sim.runner import Simulator
+from repro.sim.trace import TraceLog, TraceRecord
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "FailureInjector",
+    "FailureSchedule",
+    "LatencyModel",
+    "Message",
+    "Network",
+    "NetworkStats",
+    "Process",
+    "SeededRng",
+    "Simulator",
+    "Timer",
+    "TraceLog",
+    "TraceRecord",
+    "ZonedLatencyModel",
+]

@@ -1,0 +1,104 @@
+"""Event queue and timers for the discrete-event simulator.
+
+Events are ordered by ``(time, sequence_number)``: the sequence number is a
+monotonically increasing tiebreaker, so two events scheduled for the same
+instant fire in scheduling order. This, plus a seeded RNG, is what makes
+whole simulations deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.types import Time
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, seq)`` so they can live directly in a heap.
+    ``cancelled`` implements O(1) cancellation: the queue lazily discards
+    cancelled events when they surface.
+    """
+
+    time: Time
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Timer:
+    """Handle to a scheduled timer, as seen by protocol code.
+
+    Protocols hold on to timers so they can cancel or re-arm them
+    (e.g., heartbeat and election timeouts).
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event):
+        self._event = event
+
+    @property
+    def fire_time(self) -> Time:
+        return self._event.time
+
+    @property
+    def active(self) -> bool:
+        return not self._event.cancelled
+
+    def cancel(self) -> None:
+        self._event.cancel()
+
+
+class EventQueue:
+    """Priority queue of :class:`Event` with lazy cancellation."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def schedule(self, time: Time, action: Callable[[], None], label: str = "") -> Event:
+        """Insert an event; returns it so the caller may cancel it later."""
+        event = Event(time=time, seq=self._seq, action=action, label=label)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop_next(self) -> Event | None:
+        """Remove and return the next non-cancelled event, or None if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        self._live = 0
+        return None
+
+    def peek_time(self) -> Time | None:
+        """Time of the next live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def validate_schedule_time(self, now: Time, time: Time) -> None:
+        if time < now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before current time t={now}"
+            )

@@ -1,0 +1,126 @@
+"""Failure injection: scheduled crashes, restarts, and partitions.
+
+Experiments describe *what goes wrong and when* declaratively with a
+:class:`FailureSchedule`; the :class:`FailureInjector` arms the schedule
+against a running simulation. Keeping failures out of protocol code keeps
+both sides honest: protocols cannot "see" the schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+from repro.errors import ConfigurationError
+from repro.types import NodeId, Time
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.runner import Simulator
+
+
+@dataclass(frozen=True, slots=True)
+class CrashAt:
+    """Crash ``node`` at ``time`` (fail-stop unless a RestartAt follows)."""
+
+    time: Time
+    node: NodeId
+
+
+@dataclass(frozen=True, slots=True)
+class RestartAt:
+    """Restart a previously crashed ``node`` at ``time``."""
+
+    time: Time
+    node: NodeId
+
+
+@dataclass(frozen=True, slots=True)
+class PartitionAt:
+    """Install a named partition between two groups at ``time``."""
+
+    time: Time
+    name: str
+    side_a: tuple[NodeId, ...]
+    side_b: tuple[NodeId, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class HealAt:
+    """Heal a named partition at ``time``."""
+
+    time: Time
+    name: str
+
+
+FailureAction = CrashAt | RestartAt | PartitionAt | HealAt
+
+
+@dataclass(slots=True)
+class FailureSchedule:
+    """An ordered list of failure actions."""
+
+    actions: list[FailureAction] = field(default_factory=list)
+
+    def crash(self, time: Time, node: str) -> "FailureSchedule":
+        self.actions.append(CrashAt(time, NodeId(node)))
+        return self
+
+    def restart(self, time: Time, node: str) -> "FailureSchedule":
+        self.actions.append(RestartAt(time, NodeId(node)))
+        return self
+
+    def partition(
+        self, time: Time, name: str, side_a: Sequence[str], side_b: Sequence[str]
+    ) -> "FailureSchedule":
+        self.actions.append(
+            PartitionAt(
+                time,
+                name,
+                tuple(NodeId(n) for n in side_a),
+                tuple(NodeId(n) for n in side_b),
+            )
+        )
+        return self
+
+    def heal(self, time: Time, name: str) -> "FailureSchedule":
+        self.actions.append(HealAt(time, name))
+        return self
+
+
+class FailureInjector:
+    """Arms a :class:`FailureSchedule` against a simulation."""
+
+    def __init__(self, sim: "Simulator", schedule: FailureSchedule):
+        self._sim = sim
+        self._schedule = schedule
+
+    def arm(self) -> None:
+        for action in self._schedule.actions:
+            if action.time < self._sim.now:
+                raise ConfigurationError(
+                    f"failure action {action} scheduled before current time"
+                )
+            self._sim.schedule(
+                action.time - self._sim.now,
+                lambda a=action: self._apply(a),
+                label="failure-injection",
+            )
+
+    def _apply(self, action: FailureAction) -> None:
+        sim = self._sim
+        if isinstance(action, CrashAt):
+            process = sim.process(action.node)
+            if process is None:
+                raise ConfigurationError(f"cannot crash unknown node {action.node!r}")
+            process.crash()
+        elif isinstance(action, RestartAt):
+            process = sim.process(action.node)
+            if process is None:
+                raise ConfigurationError(f"cannot restart unknown node {action.node!r}")
+            process.restart()
+        elif isinstance(action, PartitionAt):
+            sim.network.partition(action.name, action.side_a, action.side_b)
+            sim.trace.emit(sim.now, "injector", "partition", name=action.name)
+        elif isinstance(action, HealAt):
+            sim.network.heal(action.name)
+            sim.trace.emit(sim.now, "injector", "heal", name=action.name)

@@ -1,0 +1,223 @@
+"""Simulated asynchronous message-passing network.
+
+The network delivers point-to-point messages between registered endpoints
+with a configurable latency model:
+
+* a random base delay per message (uniform between ``min_delay`` and
+  ``max_delay``),
+* a serialisation component proportional to message size
+  (``size / bandwidth``), which is what makes large state-transfer
+  snapshots observably slower than protocol messages,
+* optional loss (``drop_probability``), duplication
+  (``duplicate_probability``), and named bidirectional partitions.
+
+Messages to crashed endpoints are silently dropped at delivery time, the
+usual fail-stop model. The network also keeps per-run statistics (message
+and byte counts, split by payload type) that the benchmark harness reads
+for the message-cost experiment (T4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.errors import NetworkError
+from repro.sim.rng import SeededRng
+from repro.types import NodeId, Time
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.runner import Simulator
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """Envelope around one protocol payload in flight."""
+
+    sender: NodeId
+    dest: NodeId
+    payload: Any
+    size: int
+    sent_at: Time
+
+
+@dataclass(slots=True)
+class LatencyModel:
+    """Parameters of the delivery-delay distribution.
+
+    ``bandwidth`` is in bytes per simulated second; delays are in simulated
+    seconds. The defaults model a LAN: 0.5–2 ms one-way latency and
+    ~1 Gbit/s of per-link bandwidth.
+    """
+
+    min_delay: float = 0.0005
+    max_delay: float = 0.002
+    bandwidth: float = 125_000_000.0
+    drop_probability: float = 0.0
+    duplicate_probability: float = 0.0
+
+    def sample_delay(self, rng: SeededRng, size: int) -> float:
+        base = rng.uniform(self.min_delay, self.max_delay)
+        return base + size / self.bandwidth
+
+    def sample_delay_between(
+        self, rng: SeededRng, size: int, sender: NodeId, dest: NodeId
+    ) -> float:
+        """Endpoint-aware delay; the base model ignores the endpoints."""
+        return self.sample_delay(rng, size)
+
+
+class ZonedLatencyModel(LatencyModel):
+    """Topology-aware delays: cheap within a zone, expensive across zones.
+
+    Models multi-rack / multi-datacenter deployments. Nodes map to named
+    zones via ``zone_of``; pairs in the same zone use the base
+    ``min_delay``/``max_delay``, pairs in different zones use
+    ``inter_min``/``inter_max``. Unmapped nodes (e.g. clients) count as a
+    zone of their own prefix, so client traffic defaults to intra-zone
+    unless mapped explicitly.
+    """
+
+    def __init__(
+        self,
+        zone_of: dict[str, str],
+        inter_min: float = 0.015,
+        inter_max: float = 0.040,
+        default_zone: str = "local",
+        **kwargs,
+    ):
+        super().__init__(**kwargs)
+        self.zone_of = dict(zone_of)
+        self.inter_min = inter_min
+        self.inter_max = inter_max
+        self.default_zone = default_zone
+
+    def zone(self, node: NodeId) -> str:
+        return self.zone_of.get(str(node), self.default_zone)
+
+    def sample_delay_between(
+        self, rng: SeededRng, size: int, sender: NodeId, dest: NodeId
+    ) -> float:
+        if self.zone(sender) == self.zone(dest):
+            base = rng.uniform(self.min_delay, self.max_delay)
+        else:
+            base = rng.uniform(self.inter_min, self.inter_max)
+        return base + size / self.bandwidth
+
+
+@dataclass(slots=True)
+class NetworkStats:
+    """Cumulative traffic accounting for one simulation run."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    bytes_sent: int = 0
+    by_type: dict[str, int] = field(default_factory=dict)
+    bytes_by_type: dict[str, int] = field(default_factory=dict)
+
+    def record_send(self, payload: Any, size: int) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += size
+        kind = type(payload).__name__
+        self.by_type[kind] = self.by_type.get(kind, 0) + 1
+        self.bytes_by_type[kind] = self.bytes_by_type.get(kind, 0) + size
+
+
+class Network:
+    """Message router between endpoint processes.
+
+    Endpoints register a delivery callback keyed by :data:`NodeId`. The
+    network owns its RNG fork so that traffic randomness is independent of
+    workload randomness.
+    """
+
+    def __init__(self, sim: "Simulator", latency: LatencyModel | None = None):
+        self._sim = sim
+        self.latency = latency if latency is not None else LatencyModel()
+        self._rng = sim.rng.fork("network")
+        self._endpoints: dict[NodeId, Callable[[Message], None]] = {}
+        self._partitions: dict[str, tuple[frozenset[NodeId], frozenset[NodeId]]] = {}
+        self.stats = NetworkStats()
+
+    # -- endpoint management -------------------------------------------------
+
+    def register(self, node: NodeId, deliver: Callable[[Message], None]) -> None:
+        if node in self._endpoints:
+            raise NetworkError(f"endpoint {node!r} already registered")
+        self._endpoints[node] = deliver
+
+    def unregister(self, node: NodeId) -> None:
+        self._endpoints.pop(node, None)
+
+    def knows(self, node: NodeId) -> bool:
+        return node in self._endpoints
+
+    # -- partitions ----------------------------------------------------------
+
+    def partition(self, name: str, side_a, side_b) -> None:
+        """Install a named bidirectional partition between two node groups."""
+        group_a = frozenset(NodeId(str(n)) for n in side_a)
+        group_b = frozenset(NodeId(str(n)) for n in side_b)
+        self._partitions[name] = (group_a, group_b)
+
+    def heal(self, name: str) -> None:
+        """Remove a previously installed partition; unknown names are a no-op."""
+        self._partitions.pop(name, None)
+
+    def heal_all(self) -> None:
+        self._partitions.clear()
+
+    def _partitioned(self, a: NodeId, b: NodeId) -> bool:
+        for group_a, group_b in self._partitions.values():
+            if (a in group_a and b in group_b) or (a in group_b and b in group_a):
+                return True
+        return False
+
+    # -- sending -------------------------------------------------------------
+
+    def send(self, sender: NodeId, dest: NodeId, payload: Any, size: int = 256) -> None:
+        """Queue ``payload`` for asynchronous delivery to ``dest``.
+
+        Unknown destinations are treated as unreachable hosts (message
+        dropped) rather than errors: protocols routinely address nodes that
+        have been removed from the cluster.
+        """
+        self.stats.record_send(payload, size)
+        message = Message(
+            sender=sender, dest=dest, payload=payload, size=size, sent_at=self._sim.now
+        )
+        if self._partitioned(sender, dest):
+            self.stats.messages_dropped += 1
+            return
+        if self.latency.drop_probability > 0.0:
+            if self._rng.random() < self.latency.drop_probability:
+                self.stats.messages_dropped += 1
+                return
+        self._schedule_delivery(message)
+        if self.latency.duplicate_probability > 0.0:
+            if self._rng.random() < self.latency.duplicate_probability:
+                self._schedule_delivery(message)
+
+    def _schedule_delivery(self, message: Message) -> None:
+        delay = self.latency.sample_delay_between(
+            self._rng, message.size, message.sender, message.dest
+        )
+        self._sim.schedule(
+            delay,
+            lambda: self._deliver(message),
+            label=f"deliver:{type(message.payload).__name__}",
+        )
+
+    def _deliver(self, message: Message) -> None:
+        # Partitions are re-checked at delivery time so that a partition
+        # installed while a message is in flight also cuts it off.
+        if self._partitioned(message.sender, message.dest):
+            self.stats.messages_dropped += 1
+            return
+        deliver = self._endpoints.get(message.dest)
+        if deliver is None:
+            self.stats.messages_dropped += 1
+            return
+        self.stats.messages_delivered += 1
+        deliver(message)

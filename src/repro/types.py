@@ -1,0 +1,169 @@
+"""Shared primitive types used across the library.
+
+The library models a message-passing distributed system. Nodes and clients
+are identified by small, hashable identifiers; all protocol payloads are
+plain, immutable Python values so that traces are easy to read and histories
+are easy to replay deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, NewType
+
+# Identifier of a server process (replica). Plain strings keep traces
+# readable ("n1", "n2", ...) while remaining cheap to hash and compare.
+NodeId = NewType("NodeId", str)
+
+# Identifier of a client process.
+ClientId = NewType("ClientId", str)
+
+# Simulated time, in seconds. All simulator APIs speak seconds as floats;
+# helpers in repro.metrics convert to milliseconds for reporting.
+Time = float
+
+# Epoch number in the configuration chain (0 is the initial configuration).
+EpochId = int
+
+# Slot index inside a single static SMR instance's log (0-based).
+Slot = int
+
+
+def node_id(raw: str) -> NodeId:
+    """Coerce a raw string into a :data:`NodeId`."""
+    return NodeId(raw)
+
+
+def client_id(raw: str) -> ClientId:
+    """Coerce a raw string into a :data:`ClientId`."""
+    return ClientId(raw)
+
+
+@dataclass(frozen=True, slots=True)
+class CommandId:
+    """Globally unique identity of a client command.
+
+    A command keeps its identity across retries and across orphan
+    re-proposal into later epochs, which is what makes exactly-once
+    execution checkable: the pair ``(client, seq)`` never changes even when
+    the command is resubmitted to a different static instance.
+    """
+
+    client: ClientId
+    seq: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.client}:{self.seq}"
+
+
+@dataclass(frozen=True, slots=True)
+class Command:
+    """An application command submitted by a client.
+
+    ``op`` and ``args`` are interpreted by the replicated state machine
+    (see :mod:`repro.core.statemachine`); the replication layers treat the
+    command as opaque. ``size`` lets workloads model payload bytes for the
+    network's bandwidth accounting without materialising real payloads.
+    """
+
+    cid: CommandId
+    op: str
+    args: tuple[Any, ...] = ()
+    size: int = 64
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Command({self.cid}, {self.op}{self.args!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Reply:
+    """Response returned to a client for one command."""
+
+    cid: CommandId
+    value: Any
+    epoch: EpochId
+    virtual_index: int
+
+
+@dataclass(frozen=True, slots=True)
+class Membership:
+    """An immutable set of replica identifiers forming one configuration."""
+
+    nodes: frozenset[NodeId]
+
+    @classmethod
+    def of(cls, *nodes: str) -> "Membership":
+        return cls(frozenset(NodeId(n) for n in nodes))
+
+    @classmethod
+    def from_iter(cls, nodes: Any) -> "Membership":
+        return cls(frozenset(NodeId(str(n)) for n in nodes))
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self.nodes
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self):
+        return iter(sorted(self.nodes))
+
+    @property
+    def quorum_size(self) -> int:
+        """Size of a majority quorum of this membership."""
+        return len(self.nodes) // 2 + 1
+
+    def with_added(self, node: NodeId) -> "Membership":
+        return Membership(self.nodes | {node})
+
+    def with_removed(self, node: NodeId) -> "Membership":
+        return Membership(self.nodes - {node})
+
+    def sorted_nodes(self) -> list[NodeId]:
+        return sorted(self.nodes)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "{" + ",".join(sorted(self.nodes)) + "}"
+
+
+@dataclass(frozen=True, slots=True)
+class Configuration:
+    """One link of the configuration chain: an epoch and its member set."""
+
+    epoch: EpochId
+    members: Membership
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"C{self.epoch}{self.members}"
+
+
+@dataclass(frozen=True, slots=True)
+class VirtualLogPosition:
+    """Position of a committed command in the cross-epoch virtual log.
+
+    Ordering is lexicographic on ``(epoch, slot)``; the virtual log is the
+    concatenation of the effective logs of successive epochs.
+    """
+
+    epoch: EpochId
+    slot: Slot
+
+    def __lt__(self, other: "VirtualLogPosition") -> bool:
+        return (self.epoch, self.slot) < (other.epoch, other.slot)
+
+    def __le__(self, other: "VirtualLogPosition") -> bool:
+        return (self.epoch, self.slot) <= (other.epoch, other.slot)
+
+
+@dataclass(slots=True)
+class Decision:
+    """A decided slot of one static SMR instance.
+
+    ``payload`` is whatever was proposed: an application :class:`Command`, a
+    reconfiguration request, or an internal no-op. Static instances emit
+    decisions in slot order, gap-free.
+    """
+
+    slot: Slot
+    payload: Any
+    decided_at: Time = field(default=0.0)

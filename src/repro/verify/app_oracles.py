@@ -1,0 +1,137 @@
+"""Application-level oracles over client histories.
+
+The linearizability checker covers the KV store; these oracles give the
+other applications whole-history correctness checks that are cheap enough
+to run after every failure-injection test:
+
+* **bank conservation** — transfers never create or destroy money, so the
+  final total is fully determined by acknowledged opens/deposits/
+  withdrawals, up to the uncertainty contributed by *pending* operations
+  (which may or may not have executed).
+* **lock mutual exclusion** — two successful acquires by different owners
+  that are provably sequential must have a possible release between them.
+
+Both checks are *sound*: they only report violations that no legal
+execution could explain (pending operations are given the benefit of the
+doubt).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import VerificationError
+from repro.verify.histories import History, Operation
+
+
+@dataclass(frozen=True, slots=True)
+class ConservationBounds:
+    """Money totals a correct bank could end with."""
+
+    minimum: int
+    maximum: int
+
+    def contains(self, total: int) -> bool:
+        return self.minimum <= total <= self.maximum
+
+
+def bank_conservation_bounds(history: History, initial_total: int = 0) -> ConservationBounds:
+    """Bounds on the final total implied by the history.
+
+    Acknowledged ops contribute exactly; pending opens/deposits/withdrawals
+    contribute an uncertainty interval (they may or may not have applied).
+    Transfers never change the total, pending or not.
+    """
+    low = high = initial_total
+    for op in history.operations:
+        if op.op == "open":
+            amount = int(op.args[1])
+            if op.pending:
+                high += amount
+            elif op.value == "ok":
+                low += amount
+                high += amount
+        elif op.op == "deposit":
+            amount = int(op.args[1])
+            if op.pending:
+                high += amount
+            elif op.value is not None:
+                low += amount
+                high += amount
+        elif op.op == "withdraw":
+            amount = int(op.args[1])
+            if op.pending:
+                low -= amount
+            elif op.value is not None:
+                low -= amount
+                high -= amount
+    return ConservationBounds(low, high)
+
+
+def check_bank_conservation(
+    history: History, final_total: int, initial_total: int = 0
+) -> ConservationBounds:
+    """Raise unless ``final_total`` is reachable by a correct bank."""
+    bounds = bank_conservation_bounds(history, initial_total)
+    if not bounds.contains(final_total):
+        raise VerificationError(
+            f"bank conservation violated: final total {final_total} outside "
+            f"[{bounds.minimum}, {bounds.maximum}]"
+        )
+    return bounds
+
+
+def _successful(op: Operation) -> bool:
+    return not op.pending and op.value is True
+
+
+def check_lock_mutual_exclusion(history: History) -> int:
+    """Raise on a provable mutual-exclusion violation; returns pairs checked.
+
+    A violation is claimed only when acquire A (owner X) *completed before*
+    acquire B (owner Y != X) was invoked, both succeeded, and no release by
+    X on that lock — successful or pending — could possibly have been
+    linearized between them.
+    """
+    by_lock: dict[str, list[Operation]] = {}
+    for op in history.operations:
+        if op.op in ("acquire", "release"):
+            by_lock.setdefault(str(op.args[0]), []).append(op)
+
+    checked = 0
+    for lock, ops in by_lock.items():
+        acquires = [op for op in ops if op.op == "acquire" and _successful(op)]
+        releases = [
+            op
+            for op in ops
+            if op.op == "release" and (op.pending or op.value is True)
+        ]
+        for first in acquires:
+            for second in acquires:
+                if first is second or first.args[1] == second.args[1]:
+                    continue
+                if first.returned_at is None or first.returned_at > second.invoked_at:
+                    continue  # concurrent: either order is legal
+                checked += 1
+                owner = first.args[1]
+                # Some release by `owner` must fit between the two.
+                explains = False
+                for release in releases:
+                    if release.args[1] != owner:
+                        continue
+                    starts_after_first = release.invoked_at >= first.invoked_at
+                    ends_before_second = (
+                        release.returned_at is None
+                        or second.returned_at is None
+                        or release.invoked_at <= second.returned_at
+                    )
+                    if starts_after_first and ends_before_second:
+                        explains = True
+                        break
+                if not explains:
+                    raise VerificationError(
+                        f"mutual exclusion violated on lock {lock!r}: "
+                        f"{owner} held it when {second.args[1]}'s acquire at "
+                        f"t={second.invoked_at} succeeded"
+                    )
+    return checked

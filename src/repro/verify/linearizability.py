@@ -1,0 +1,140 @@
+"""Linearizability checking for KV histories (Wing–Gong / Lowe style).
+
+The service is linearizable iff every operation appears to take effect
+atomically between its invocation and its response. We exploit that KV
+keys are independent registers: a history is linearizable iff each per-key
+sub-history is, which turns an exponential global search into many small
+ones.
+
+Per key, the checker runs the classic Wing–Gong search — repeatedly pick a
+*minimal* operation (one invoked before every unlinearized response),
+apply it to the model state, recurse — with Lowe's memoisation on
+``(remaining operation set, model state)``.
+
+Pending operations (invoked, never acknowledged) are handled soundly: each
+may either have taken effect at any point after its invocation or never
+have executed at all, so the search may linearize it or leave it out.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import VerificationError
+from repro.verify.histories import History, Operation
+
+_INFINITY = float("inf")
+
+
+@dataclass(frozen=True, slots=True)
+class LinearizabilityResult:
+    """Outcome of a check, with the failing key for diagnostics."""
+
+    ok: bool
+    failing_key: str | None = None
+    checked_keys: int = 0
+    checked_ops: int = 0
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.ok
+
+
+def _apply(op: Operation, state: Any) -> tuple[bool, Any]:
+    """Check ``op``'s observed response against model ``state``.
+
+    Returns ``(consistent, new_state)``. Pending operations have no
+    observed response, so any outcome is consistent; their state effect
+    still applies.
+    """
+    kind = op.op
+    if kind == "get":
+        if op.pending:
+            return True, state
+        return state == op.value, state
+    if kind == "set":
+        new_state = op.args[1]
+        if op.pending:
+            return True, new_state
+        return op.value == "ok", new_state
+    if kind == "delete":
+        existed = state is not None
+        if op.pending:
+            return True, None
+        return op.value == existed, None
+    if kind == "cas":
+        expected, new = op.args[1], op.args[2]
+        success = state == expected
+        new_state = new if success else state
+        if op.pending:
+            return True, new_state
+        return op.value == success, new_state
+    raise VerificationError(f"linearizability model cannot interpret op {kind!r}")
+
+
+def _check_key(ops: list[Operation]) -> bool:
+    """Wing–Gong search over one key's operations."""
+    n = len(ops)
+    invs = [op.invoked_at for op in ops]
+    rets = [op.returned_at if op.returned_at is not None else _INFINITY for op in ops]
+    completed_mask = 0
+    for i, op in enumerate(ops):
+        if not op.pending:
+            completed_mask |= 1 << i
+
+    memo: set[tuple[int, Any]] = set()
+
+    def search(remaining: int, state: Any) -> bool:
+        if remaining & completed_mask == 0:
+            # Every acknowledged operation is linearized; leftover pending
+            # operations are allowed to have never executed.
+            return True
+        key = (remaining, state)
+        if key in memo:
+            return False
+        earliest_ret = min(
+            rets[i] for i in range(n) if remaining >> i & 1
+        )
+        for i in range(n):
+            if not remaining >> i & 1:
+                continue
+            if invs[i] > earliest_ret:
+                continue
+            consistent, new_state = _apply(ops[i], state)
+            if not consistent:
+                continue
+            if search(remaining & ~(1 << i), new_state):
+                return True
+        memo.add(key)
+        return False
+
+    return search((1 << n) - 1, None)
+
+
+def check_kv_linearizable(
+    history: History, raise_on_failure: bool = False
+) -> LinearizabilityResult:
+    """Check a KV history for linearizability, key by key."""
+    partitions = history.by_key()
+    total_ops = sum(len(ops) for ops in partitions.values())
+    depth_needed = max((len(ops) for ops in partitions.values()), default=0) + 100
+    old_limit = sys.getrecursionlimit()
+    if depth_needed > old_limit:
+        sys.setrecursionlimit(depth_needed + old_limit)
+    try:
+        for key, ops in sorted(partitions.items()):
+            if not _check_key(ops):
+                if raise_on_failure:
+                    raise VerificationError(f"history is not linearizable at key {key!r}")
+                return LinearizabilityResult(
+                    ok=False,
+                    failing_key=key,
+                    checked_keys=len(partitions),
+                    checked_ops=total_ops,
+                )
+    finally:
+        sys.setrecursionlimit(old_limit)
+    return LinearizabilityResult(
+        ok=True, checked_keys=len(partitions), checked_ops=total_ops
+    )

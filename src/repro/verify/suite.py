@@ -1,0 +1,65 @@
+"""One-call verification: run the full oracle stack over a finished run.
+
+Downstream users should not need to know which five checks exist; after a
+simulation they call :func:`verify_run` and get either a
+:class:`VerificationReport` or a :class:`repro.errors.VerificationError`
+explaining exactly what broke.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.client import Client
+from repro.core.reconfig import ReconfigurableReplica
+from repro.verify.histories import History
+from repro.verify.invariants import run_all_invariants
+from repro.verify.linearizability import check_kv_linearizable
+
+
+@dataclass(frozen=True, slots=True)
+class VerificationReport:
+    """What was checked and how much of it there was."""
+
+    operations: int
+    pending_operations: int
+    kv_keys_checked: int
+    positions: int
+    epochs: int
+    replies: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"verified: {self.operations} ops ({self.pending_operations} pending), "
+            f"{self.kv_keys_checked} keys linearizable, {self.positions} log "
+            f"positions, {self.epochs} epochs, {self.replies} replies consistent"
+        )
+
+
+def verify_run(
+    replicas: Iterable[ReconfigurableReplica],
+    clients: Iterable[Client],
+    check_linearizability: bool = True,
+) -> VerificationReport:
+    """Run every applicable oracle; raises VerificationError on failure.
+
+    ``check_linearizability`` may be disabled for non-KV applications
+    (the structural invariants still apply to every application).
+    """
+    replica_list = list(replicas)
+    client_list = list(clients)
+    history = History.from_clients(client_list)
+    keys_checked = 0
+    if check_linearizability:
+        result = check_kv_linearizable(history, raise_on_failure=True)
+        keys_checked = result.checked_keys
+    coverage = run_all_invariants(replica_list)
+    return VerificationReport(
+        operations=len(history),
+        pending_operations=len(history.pending),
+        kv_keys_checked=keys_checked,
+        positions=coverage["positions"],
+        epochs=coverage["epochs"],
+        replies=coverage["replies"],
+    )

@@ -1,0 +1,92 @@
+"""Operation mixes: what clients ask the replicated service to do.
+
+A mix is a factory of :data:`repro.core.client.OperationSource` closures —
+zero-argument callables yielding ``(op, args, size)`` or ``None`` when the
+client's budget is exhausted. Every closure draws from its own forked RNG
+stream so adding clients never perturbs existing ones.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import SeededRng
+
+
+class KvOperationMix:
+    """Read/write mix over a bounded keyspace.
+
+    ``read_ratio`` of operations are gets; the rest are sets (and a
+    ``cas_ratio`` slice of the writes are compare-and-swaps, which stress
+    the linearizability checker the hardest because their success is
+    order-sensitive).
+    """
+
+    def __init__(
+        self,
+        rng: SeededRng,
+        keyspace: int = 64,
+        read_ratio: float = 0.5,
+        cas_ratio: float = 0.0,
+        value_size: int = 64,
+        zipf_skew: float | None = None,
+    ):
+        if not 0.0 <= read_ratio <= 1.0 or not 0.0 <= cas_ratio <= 1.0:
+            raise ConfigurationError("ratios must be within [0, 1]")
+        if keyspace <= 0:
+            raise ConfigurationError("keyspace must be positive")
+        self.rng = rng
+        self.keyspace = keyspace
+        self.read_ratio = read_ratio
+        self.cas_ratio = cas_ratio
+        self.value_size = value_size
+        self.zipf_skew = zipf_skew
+
+    def _pick_key(self, rng: SeededRng) -> str:
+        if self.zipf_skew is not None:
+            index = rng.zipf_index(self.keyspace, self.zipf_skew)
+        else:
+            index = rng.randint(0, self.keyspace - 1)
+        return f"k{index}"
+
+    def source(self, name: str, budget: int | None):
+        """Build an OperationSource for one client.
+
+        ``budget=None`` means unbounded (the run's deadline stops the
+        client).
+        """
+        rng = self.rng.fork(f"mix/{name}")
+        remaining = [budget]
+        counter = [0]
+
+        def next_operation():
+            if remaining[0] is not None:
+                if remaining[0] <= 0:
+                    return None
+                remaining[0] -= 1
+            counter[0] += 1
+            key = self._pick_key(rng)
+            if rng.random() < self.read_ratio:
+                return ("get", (key,), 32)
+            if rng.random() < self.cas_ratio:
+                expected = rng.randint(0, 8)
+                return ("cas", (key, expected, counter[0]), self.value_size)
+            return ("set", (key, counter[0]), self.value_size)
+
+        return next_operation
+
+
+def counter_increments(name: str, budget: int, counter_name: str = "c"):
+    """OperationSource of ``budget`` increments of one counter by one.
+
+    The acknowledged-increment count must equal the final counter value —
+    the exactly-once arithmetic oracle used by the failure tests.
+    """
+    remaining = [budget]
+
+    def next_operation():
+        if remaining[0] <= 0:
+            return None
+        remaining[0] -= 1
+        return ("incr", (counter_name, 1), 32)
+
+    return next_operation

@@ -1,0 +1,116 @@
+"""Reconfiguration schedules: when and how the membership changes.
+
+A schedule is a list of :class:`ReconfigStep` — (time, new member set) —
+computed ahead of the run. Builders cover the patterns the experiments
+need:
+
+* :func:`rolling_replacement` — replace one member at a time (rolling
+  migration / node repair), the most common production pattern.
+* :func:`full_replacement` — move the whole service to fresh machines in
+  one jump; the pattern the composition handles natively but Raft-style
+  single-server changes must decompose.
+* :func:`scale_membership` — grow or shrink (elasticity).
+* :func:`storm` — back-to-back reconfigurations at a fixed interval; the
+  liveness stress of experiment F2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.types import Time
+
+
+@dataclass(frozen=True, slots=True)
+class ReconfigStep:
+    """One scheduled membership change."""
+
+    time: Time
+    members: tuple[str, ...]
+
+
+def _fresh_names(start_index: int, count: int) -> list[str]:
+    return [f"n{start_index + i}" for i in range(count)]
+
+
+def rolling_replacement(
+    initial: list[str], start: Time, interval: Time, rounds: int, first_fresh: int
+) -> list[ReconfigStep]:
+    """Replace the oldest member with a fresh node every ``interval``."""
+    if rounds < 1:
+        raise ConfigurationError("rounds must be >= 1")
+    steps: list[ReconfigStep] = []
+    current = list(initial)
+    for i in range(rounds):
+        current = current[1:] + [f"n{first_fresh + i}"]
+        steps.append(ReconfigStep(start + i * interval, tuple(current)))
+    return steps
+
+
+def full_replacement(
+    initial: list[str], at: Time, first_fresh: int
+) -> list[ReconfigStep]:
+    """Swap the entire membership for fresh nodes in a single step."""
+    fresh = _fresh_names(first_fresh, len(initial))
+    return [ReconfigStep(at, tuple(fresh))]
+
+
+def scale_membership(
+    initial: list[str], at: Time, target_size: int, first_fresh: int
+) -> list[ReconfigStep]:
+    """Grow (add fresh nodes) or shrink (drop highest-numbered) to a size."""
+    if target_size < 1:
+        raise ConfigurationError("target size must be >= 1")
+    if target_size >= len(initial):
+        members = list(initial) + _fresh_names(first_fresh, target_size - len(initial))
+    else:
+        members = list(initial)[:target_size]
+    return [ReconfigStep(at, tuple(members))]
+
+
+def storm(
+    initial: list[str],
+    start: Time,
+    interval: Time,
+    count: int,
+    first_fresh: int,
+) -> list[ReconfigStep]:
+    """``count`` rolling replacements fired every ``interval`` seconds.
+
+    With a small interval the next reconfiguration lands before the
+    previous hand-off finishes — exactly the overlap the speculative
+    pipeline is built for.
+    """
+    return rolling_replacement(initial, start, interval, count, first_fresh)
+
+
+def migration_storm(
+    initial: list[str],
+    start: Time,
+    interval: Time,
+    count: int,
+    first_fresh: int,
+    keep: int = 1,
+) -> list[ReconfigStep]:
+    """Back-to-back *majority* migrations: each round keeps only ``keep``
+    members and brings in fresh nodes for the rest.
+
+    This is the hand-off-on-the-critical-path stress: the new quorum
+    depends on joiners whose state is still in flight, so a protocol that
+    cannot order before transfer completes serializes the whole storm.
+    (A single-node rolling replacement, by contrast, leaves the quorum
+    with members whose state is already local.)
+    """
+    if keep < 0 or keep >= len(initial):
+        raise ConfigurationError("keep must be in [0, cluster size)")
+    steps: list[ReconfigStep] = []
+    current = list(initial)
+    fresh = first_fresh
+    for i in range(count):
+        keepers = current[len(current) - keep:] if keep else []
+        newcomers = [f"n{fresh + j}" for j in range(len(initial) - keep)]
+        fresh += len(newcomers)
+        current = keepers + newcomers
+        steps.append(ReconfigStep(start + i * interval, tuple(current)))
+    return steps

@@ -1,0 +1,193 @@
+"""Tests for the replicated applications, including model-based properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.apps.bank import BankStateMachine
+from repro.apps.counter import CounterStateMachine
+from repro.apps.kvstore import KvStateMachine
+from repro.apps.lockservice import LockServiceStateMachine
+from repro.errors import ProtocolError
+from repro.types import Command, CommandId, client_id
+
+
+def cmd(op, *args, seq=1):
+    return Command(CommandId(client_id("c"), seq), op, tuple(args))
+
+
+class TestKvStore:
+    def test_set_get(self):
+        kv = KvStateMachine()
+        assert kv.apply(cmd("set", "a", 1)) == "ok"
+        assert kv.apply(cmd("get", "a")) == 1
+
+    def test_get_missing_returns_none(self):
+        assert KvStateMachine().apply(cmd("get", "nope")) is None
+
+    def test_delete(self):
+        kv = KvStateMachine()
+        kv.apply(cmd("set", "a", 1))
+        assert kv.apply(cmd("delete", "a")) is True
+        assert kv.apply(cmd("delete", "a")) is False
+        assert kv.apply(cmd("get", "a")) is None
+
+    def test_cas_success_and_failure(self):
+        kv = KvStateMachine()
+        kv.apply(cmd("set", "a", 1))
+        assert kv.apply(cmd("cas", "a", 1, 2)) is True
+        assert kv.apply(cmd("cas", "a", 1, 3)) is False
+        assert kv.apply(cmd("get", "a")) == 2
+
+    def test_cas_on_missing_key(self):
+        kv = KvStateMachine()
+        assert kv.apply(cmd("cas", "a", None, 5)) is True
+        assert kv.apply(cmd("get", "a")) == 5
+
+    def test_scan(self):
+        kv = KvStateMachine()
+        for key in ("p1", "p2", "q1"):
+            kv.apply(cmd("set", key, 0))
+        assert kv.apply(cmd("scan", "p")) == ("p1", "p2")
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(ProtocolError):
+            KvStateMachine().apply(cmd("explode"))
+
+    def test_snapshot_roundtrip(self):
+        kv = KvStateMachine()
+        kv.apply(cmd("set", "a", 1))
+        snap = kv.snapshot()
+        kv.apply(cmd("set", "a", 2))
+        other = KvStateMachine()
+        other.restore(snap)
+        assert other.apply(cmd("get", "a")) == 1
+
+    def test_snapshot_bytes_scales_with_entries(self):
+        kv = KvStateMachine(value_bytes=100)
+        empty = kv.snapshot_bytes()
+        kv.preload(100)
+        assert kv.snapshot_bytes() - empty == 100 * 124
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["set", "get", "delete"]),
+                st.sampled_from(["a", "b", "c"]),
+                st.integers(0, 5),
+            ),
+            max_size=60,
+        )
+    )
+    def test_matches_dict_model(self, ops):
+        kv = KvStateMachine()
+        model: dict = {}
+        for i, (op, key, value) in enumerate(ops):
+            if op == "set":
+                kv.apply(cmd("set", key, value, seq=i))
+                model[key] = value
+            elif op == "get":
+                assert kv.apply(cmd("get", key, seq=i)) == model.get(key)
+            else:
+                assert kv.apply(cmd("delete", key, seq=i)) == (key in model)
+                model.pop(key, None)
+
+
+class TestCounter:
+    def test_incr_read_reset(self):
+        counter = CounterStateMachine()
+        assert counter.apply(cmd("incr", "x", 5)) == 5
+        assert counter.apply(cmd("incr", "x", -2)) == 3
+        assert counter.apply(cmd("read", "x")) == 3
+        assert counter.apply(cmd("reset", "x")) == 3
+        assert counter.apply(cmd("read", "x")) == 0
+
+    def test_unknown_counter_reads_zero(self):
+        assert CounterStateMachine().apply(cmd("read", "ghost")) == 0
+
+    def test_snapshot_roundtrip(self):
+        counter = CounterStateMachine()
+        counter.apply(cmd("incr", "x", 7))
+        other = CounterStateMachine()
+        other.restore(counter.snapshot())
+        assert other.value("x") == 7
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(ProtocolError):
+            CounterStateMachine().apply(cmd("nope"))
+
+
+class TestBank:
+    def test_open_and_balance(self):
+        bank = BankStateMachine()
+        assert bank.apply(cmd("open", "alice", 100)) == "ok"
+        assert bank.apply(cmd("open", "alice", 50)) == "exists"
+        assert bank.apply(cmd("balance", "alice")) == 100
+
+    def test_deposit_withdraw(self):
+        bank = BankStateMachine()
+        bank.apply(cmd("open", "a", 10))
+        assert bank.apply(cmd("deposit", "a", 5)) == 15
+        assert bank.apply(cmd("withdraw", "a", 20)) is None  # overdraft refused
+        assert bank.apply(cmd("withdraw", "a", 15)) == 0
+
+    def test_transfer_atomic(self):
+        bank = BankStateMachine()
+        bank.apply(cmd("open", "a", 10))
+        bank.apply(cmd("open", "b", 0))
+        assert bank.apply(cmd("transfer", "a", "b", 4)) is True
+        assert bank.apply(cmd("transfer", "a", "b", 100)) is False
+        assert bank.apply(cmd("balance", "a")) == 6
+        assert bank.apply(cmd("balance", "b")) == 4
+
+    def test_transfer_to_unknown_account_fails(self):
+        bank = BankStateMachine()
+        bank.apply(cmd("open", "a", 10))
+        assert bank.apply(cmd("transfer", "a", "ghost", 1)) is False
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["a", "b", "c"]), st.sampled_from(["a", "b", "c"]),
+                      st.integers(0, 30)),
+            max_size=50,
+        )
+    )
+    def test_transfers_conserve_money(self, transfers):
+        bank = BankStateMachine()
+        for name in ("a", "b", "c"):
+            bank.apply(cmd("open", name, 100))
+        total = bank.total()
+        for i, (src, dst, amount) in enumerate(transfers):
+            bank.apply(cmd("transfer", src, dst, amount, seq=i))
+        assert bank.total() == total
+
+
+class TestLockService:
+    def test_acquire_release(self):
+        locks = LockServiceStateMachine()
+        assert locks.apply(cmd("acquire", "L", "me")) is True
+        assert locks.apply(cmd("holder", "L")) == "me"
+        assert locks.apply(cmd("release", "L", "me")) is True
+        assert locks.apply(cmd("holder", "L")) is None
+
+    def test_mutual_exclusion(self):
+        locks = LockServiceStateMachine()
+        locks.apply(cmd("acquire", "L", "me"))
+        assert locks.apply(cmd("acquire", "L", "you")) is False
+
+    def test_reacquire_by_holder_is_idempotent(self):
+        locks = LockServiceStateMachine()
+        locks.apply(cmd("acquire", "L", "me"))
+        assert locks.apply(cmd("acquire", "L", "me")) is True
+
+    def test_release_by_non_holder_fails(self):
+        locks = LockServiceStateMachine()
+        locks.apply(cmd("acquire", "L", "me"))
+        assert locks.apply(cmd("release", "L", "you")) is False
+        assert locks.apply(cmd("holder", "L")) == "me"
+
+    def test_snapshot_roundtrip(self):
+        locks = LockServiceStateMachine()
+        locks.apply(cmd("acquire", "L", "me"))
+        other = LockServiceStateMachine()
+        other.restore(locks.snapshot())
+        assert other.apply(cmd("holder", "L")) == "me"

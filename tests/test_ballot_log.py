@@ -1,0 +1,87 @@
+"""Tests for ballots and the in-order decided log."""
+
+import pytest
+
+from repro.consensus.ballot import Ballot
+from repro.consensus.log import DecidedLog
+from repro.errors import AgreementViolation
+from repro.types import node_id
+
+
+class TestBallot:
+    def test_zero_is_smallest(self):
+        assert Ballot.ZERO < Ballot(1, node_id("a"))
+
+    def test_round_dominates_proposer(self):
+        assert Ballot(1, node_id("z")) < Ballot(2, node_id("a"))
+
+    def test_proposer_breaks_ties(self):
+        assert Ballot(1, node_id("a")) < Ballot(1, node_id("b"))
+
+    def test_next_for_is_strictly_greater(self):
+        ballot = Ballot(3, node_id("b"))
+        nxt = ballot.next_for(node_id("a"))
+        assert nxt > ballot
+        assert nxt.proposer == "a"
+
+    def test_hashable_and_eq(self):
+        assert Ballot(1, node_id("a")) == Ballot(1, node_id("a"))
+        assert len({Ballot(1, node_id("a")), Ballot(1, node_id("a"))}) == 1
+
+
+class TestDecidedLog:
+    def test_in_order_delivery(self):
+        delivered = []
+        log = DecidedLog(lambda d: delivered.append((d.slot, d.payload)))
+        log.record(0, "a", now=0.0)
+        log.record(1, "b", now=0.0)
+        assert delivered == [(0, "a"), (1, "b")]
+
+    def test_out_of_order_held_until_gap_fills(self):
+        delivered = []
+        log = DecidedLog(lambda d: delivered.append(d.slot))
+        log.record(2, "c", now=0.0)
+        log.record(0, "a", now=0.0)
+        assert delivered == [0]
+        assert log.has_gap
+        log.record(1, "b", now=0.0)
+        assert delivered == [0, 1, 2]
+        assert not log.has_gap
+
+    def test_duplicate_same_value_is_idempotent(self):
+        delivered = []
+        log = DecidedLog(lambda d: delivered.append(d.slot))
+        log.record(0, "a", now=0.0)
+        released = log.record(0, "a", now=1.0)
+        assert released == []
+        assert delivered == [0]
+
+    def test_conflicting_value_raises(self):
+        log = DecidedLog(lambda d: None)
+        log.record(0, "a", now=0.0)
+        with pytest.raises(AgreementViolation):
+            log.record(0, "b", now=0.0)
+
+    def test_decided_range(self):
+        log = DecidedLog(lambda d: None)
+        for slot in (0, 1, 2, 4):
+            log.record(slot, f"v{slot}", now=0.0)
+        assert log.decided_range(0, 10) == [(0, "v0"), (1, "v1"), (2, "v2")]
+        assert log.decided_range(1, 2) == [(1, "v1"), (2, "v2")]
+        assert log.decided_range(3, 5) == []
+
+    def test_watermarks(self):
+        log = DecidedLog(lambda d: None)
+        log.record(0, "a", now=0.0)
+        log.record(5, "f", now=0.0)
+        assert log.next_to_deliver == 1
+        assert log.max_decided == 5
+        assert log.value(5) == "f"
+        assert log.value(3) is None
+        assert log.is_decided(0) and not log.is_decided(3)
+
+    def test_first_slot_offset(self):
+        delivered = []
+        log = DecidedLog(lambda d: delivered.append(d.slot), first_slot=10)
+        log.record(10, "x", now=0.0)
+        assert delivered == [10]

@@ -1,0 +1,35 @@
+"""Tests for the command-line interface."""
+
+from repro.cli import ALL_EXPERIMENTS, QUICK_ARGS, main
+
+
+class TestCli:
+    def test_list_names_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ALL_EXPERIMENTS:
+            assert name in out
+
+    def test_quick_args_cover_every_experiment(self):
+        assert set(QUICK_ARGS) == set(ALL_EXPERIMENTS)
+
+    def test_unknown_experiment_fails_cleanly(self, capsys):
+        assert main(["run", "Z9"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_quick_experiment(self, capsys):
+        assert main(["run", "t6", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "T6" in out and "completed" in out
+
+    def test_seed_override(self, capsys):
+        assert main(["run", "T6", "--quick", "--seed", "9"]) == 0
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "50 reads after the swap: 50 correct" in out
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 1
+        assert "usage" in capsys.readouterr().out

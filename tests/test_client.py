@@ -1,0 +1,141 @@
+"""Tests for the client library: retries, redirects, history recording."""
+
+from repro.apps.kvstore import KvStateMachine
+from repro.core.client import Client, ClientParams, ClientReply, Redirect
+from repro.core.service import ReplicatedService
+from repro.sim.failures import FailureInjector, FailureSchedule
+from repro.sim.runner import Simulator
+from repro.types import ClientId, CommandId, Membership, client_id, node_id
+
+
+def one_shot_ops(n):
+    budget = [n]
+
+    def ops():
+        if budget[0] <= 0:
+            return None
+        budget[0] -= 1
+        return ("set", (f"k{budget[0]}", budget[0]), 64)
+
+    return ops
+
+
+class TestBasics:
+    def test_client_completes_budget(self):
+        sim = Simulator(seed=1)
+        service = ReplicatedService(sim, ["n1", "n2", "n3"], KvStateMachine)
+        client = service.make_client("c1", one_shot_ops(10), ClientParams(start_delay=0.2))
+        sim.run_until(lambda: client.finished, timeout=10.0)
+        assert len(client.records) == 10
+        assert [r.cid.seq for r in client.records] == list(range(1, 11))
+
+    def test_think_time_spaces_operations(self):
+        sim = Simulator(seed=1)
+        service = ReplicatedService(sim, ["n1", "n2", "n3"], KvStateMachine)
+        client = service.make_client(
+            "c1", one_shot_ops(3), ClientParams(start_delay=0.2, think_time=0.5)
+        )
+        sim.run_until(lambda: client.finished, timeout=10.0)
+        gaps = [
+            b.invoked_at - a.returned_at
+            for a, b in zip(client.records, client.records[1:])
+        ]
+        assert all(g >= 0.5 for g in gaps)
+
+    def test_on_complete_hook_fires(self):
+        sim = Simulator(seed=1)
+        service = ReplicatedService(sim, ["n1", "n2"], KvStateMachine)
+        seen = []
+        client = service.make_client(
+            "c1", one_shot_ops(5), ClientParams(start_delay=0.2),
+            on_complete=seen.append,
+        )
+        sim.run_until(lambda: client.finished, timeout=10.0)
+        assert len(seen) == 5
+
+    def test_latency_recorded(self):
+        sim = Simulator(seed=1)
+        service = ReplicatedService(sim, ["n1", "n2", "n3"], KvStateMachine)
+        client = service.make_client("c1", one_shot_ops(5), ClientParams(start_delay=0.2))
+        sim.run_until(lambda: client.finished, timeout=10.0)
+        for record in client.records:
+            assert record.returned_at > record.invoked_at
+
+
+class TestRetries:
+    def test_retry_rotates_to_live_replica(self):
+        sim = Simulator(seed=2)
+        service = ReplicatedService(sim, ["n1", "n2", "n3"], KvStateMachine)
+        client = service.make_client(
+            "c1", one_shot_ops(20), ClientParams(start_delay=0.2, request_timeout=0.15)
+        )
+        FailureInjector(sim, FailureSchedule().crash(0.1, "n1")).arm()
+        done = sim.run_until(lambda: client.finished, timeout=20.0)
+        assert done
+        assert len(client.records) == 20
+
+    def test_retries_preserve_command_identity(self):
+        sim = Simulator(seed=3)
+        service = ReplicatedService(sim, ["n1", "n2", "n3"], KvStateMachine)
+        client = service.make_client(
+            "c1", one_shot_ops(30), ClientParams(start_delay=0.2, request_timeout=0.1)
+        )
+        FailureInjector(sim, FailureSchedule().crash(0.35, "n1")).arm()
+        sim.run_until(lambda: client.finished, timeout=20.0)
+        # Exactly-once: each op acknowledged once, in client order.
+        assert [r.cid.seq for r in client.records] == list(range(1, 31))
+        # Every command executed at most once cluster-wide.
+        survivor = service.replicas[node_id("n2")]
+        cids = [
+            p.cid for p, _, _ in survivor.committed if hasattr(p, "cid")
+        ]
+        assert len(cids) == len(set(cids))
+
+
+class TestRedirects:
+    def test_stale_reply_ignored(self):
+        sim = Simulator(seed=4)
+        client = Client(
+            sim, ClientId("c"), Membership.of("n1"), one_shot_ops(1),
+        )
+        stale = ClientReply(CommandId(client_id("c"), 99), "x", 0, 0)
+        client.on_message(stale, node_id("n1"))
+        assert client.records == []
+
+    def test_redirect_updates_view(self):
+        sim = Simulator(seed=4)
+        service = ReplicatedService(sim, ["n1", "n2", "n3"], KvStateMachine)
+        client = service.make_client(
+            "c1", one_shot_ops(40), ClientParams(start_delay=0.2)
+        )
+        service.reconfigure_at(0.3, ["n4", "n5", "n6"])
+        done = sim.run_until(lambda: client.finished, timeout=20.0)
+        assert done
+        assert set(client.view.nodes) & {node_id("n4"), node_id("n5"), node_id("n6")}
+
+    def test_redirect_loop_falls_back_to_known_nodes(self):
+        sim = Simulator(seed=5)
+        # A lone fake node that always redirects to itself.
+        from repro.sim.node import Process
+
+        class Looper(Process):
+            def on_message(self, payload, sender):
+                if hasattr(payload, "command"):
+                    self.send(
+                        payload.reply_to,
+                        Redirect(payload.command.cid, Membership.of("loop"), 0),
+                    )
+
+        Looper(sim, node_id("loop"))
+        client = Client(
+            sim,
+            ClientId("c"),
+            Membership.of("loop"),
+            one_shot_ops(1),
+            ClientParams(start_delay=0.0, request_timeout=0.5),
+        )
+        sim.run(until=2.0)
+        # The client survives the loop (does not crash or flood); its
+        # fallback view contains every node it has heard of.
+        assert client._redirect_streak > 8
+        assert node_id("loop") in client._known_nodes

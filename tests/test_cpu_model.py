@@ -1,0 +1,86 @@
+"""Tests for the opt-in per-node CPU (service-time) model."""
+
+from repro.sim.node import Process
+from repro.sim.runner import Simulator
+from repro.types import node_id
+
+
+class Sink(Process):
+    def __init__(self, sim, node):
+        super().__init__(sim, node)
+        self.handled_at = []
+
+    def on_message(self, payload, sender):
+        self.handled_at.append(self.now)
+
+
+class TestCpuModel:
+    def test_zero_delay_handles_inline(self):
+        sim = Simulator(seed=701)
+        sink = Sink(sim, node_id("s"))
+        src = Sink(sim, node_id("p"))
+        src.send(sink.node, "x")
+        sim.run()
+        assert len(sink.handled_at) == 1
+        assert sink.messages_processed == 0  # fast path bypasses the meter
+
+    def test_messages_serialize_behind_cpu(self):
+        sim = Simulator(seed=702)
+        sink = Sink(sim, node_id("s"))
+        sink.processing_delay = 0.010
+        src = Sink(sim, node_id("p"))
+        for _ in range(5):
+            src.send(sink.node, "x", size=0)
+        sim.run()
+        assert len(sink.handled_at) == 5
+        assert sink.messages_processed == 5
+        # Handler invocations are spaced by at least the service time.
+        gaps = [b - a for a, b in zip(sink.handled_at, sink.handled_at[1:])]
+        assert all(gap >= 0.0099 for gap in gaps)
+
+    def test_queueing_delay_accumulates(self):
+        sim = Simulator(seed=703)
+        sink = Sink(sim, node_id("s"))
+        sink.processing_delay = 0.010
+        src = Sink(sim, node_id("p"))
+        for _ in range(10):
+            src.send(sink.node, "x", size=0)
+        sim.run()
+        # The last message waits behind nine service times.
+        assert sink.handled_at[-1] >= sink.handled_at[0] + 9 * 0.010 - 1e-9
+
+    def test_crash_drops_queued_messages(self):
+        sim = Simulator(seed=704)
+        sink = Sink(sim, node_id("s"))
+        sink.processing_delay = 0.050
+        src = Sink(sim, node_id("p"))
+        for _ in range(4):
+            src.send(sink.node, "x", size=0)
+        sim.at(0.08, sink.crash)  # after ~1 handled
+        sim.run()
+        assert len(sink.handled_at) <= 2
+
+    def test_service_still_correct_under_cpu_model(self):
+        from repro.apps.kvstore import KvStateMachine
+        from repro.core.client import ClientParams
+        from repro.core.service import ReplicatedService
+        from repro.verify.histories import History
+        from repro.verify.linearizability import check_kv_linearizable
+
+        sim = Simulator(seed=705)
+        service = ReplicatedService(sim, ["n1", "n2", "n3"], KvStateMachine)
+        for replica in service.replicas.values():
+            replica.processing_delay = 0.0002
+        budget = [40]
+
+        def ops():
+            if budget[0] <= 0:
+                return None
+            budget[0] -= 1
+            return ("set", (f"k{budget[0] % 4}", budget[0]), 48)
+
+        client = service.make_client("c1", ops, ClientParams(start_delay=0.2))
+        service.reconfigure_at(0.4, ["n1", "n2", "n4"])
+        done = sim.run_until(lambda: client.finished, timeout=30.0)
+        assert done
+        assert check_kv_linearizable(History.from_clients([client])).ok

@@ -1,0 +1,37 @@
+"""Smoke tests: every example script runs clean end to end.
+
+Examples are user-facing documentation; breaking one silently is worse
+than breaking a unit test. Each runs in-process (runpy) with stdout
+captured, and its own success assertions (several examples assert their
+correctness claims internally).
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    p.name for p in (Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_clean(script, capsys, monkeypatch):
+    path = Path(__file__).parent.parent / "examples" / script
+    # Examples must not depend on argv.
+    monkeypatch.setattr(sys, "argv", [str(path)])
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_expected_examples_present():
+    assert {
+        "quickstart.py",
+        "elastic_scaling.py",
+        "rolling_replacement.py",
+        "reconfiguration_storm.py",
+        "warm_standby_reads.py",
+    } <= set(EXAMPLES)

@@ -1,0 +1,82 @@
+"""Structural tests for the experiment definitions (tiny parameters).
+
+Each experiment function must produce well-formed output — tables with
+rows, series with points, raw data keyed as documented — so the benchmark
+layer and CLI can rely on the shape. Parameters here are minimal: these
+tests check structure, not the performance shape (the benchmarks do that).
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    ALL_EXPERIMENTS,
+    exp_f2_storm,
+    exp_f4_ablation,
+    exp_t1_overhead,
+    exp_t5_blocks,
+    exp_t6_detector,
+    exp_t7_leases,
+)
+from repro.cli import QUICK_ARGS
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "T1", "F1", "T2", "F2", "T3", "F3", "T4", "F4",
+            "T5", "F5", "T6", "T7", "T8",
+        }
+
+    def test_quick_args_match_signatures(self):
+        # Every quick-arg key must be a real parameter of its experiment.
+        import inspect
+
+        for name, kwargs in QUICK_ARGS.items():
+            signature = inspect.signature(ALL_EXPERIMENTS[name])
+            for key in kwargs:
+                assert key in signature.parameters, (name, key)
+
+
+class TestOutputs:
+    def test_t1_structure(self):
+        out = exp_t1_overhead(sizes=(3,), run_for=0.8)
+        assert out.name == "T1"
+        assert len(out.tables) == 1
+        assert len(out.tables[0].rows) == 4  # four protocols, one size
+        assert ("speculative", 3) in out.data
+        assert out.data[("speculative", 3)]["throughput"] > 0
+
+    def test_f2_structure(self):
+        out = exp_f2_storm(intervals=(0.5,), rounds=2, preload=1_000)
+        assert len(out.series) == 3  # one per protocol
+        assert all(s.points for s in out.series)
+        assert ("raft", 0.5) in out.data
+
+    def test_f4_structure(self):
+        out = exp_f4_ablation(depths=(1, None), rounds=2, preload=1_000)
+        assert len(out.tables) == 1 and len(out.series) == 1
+        assert set(out.data) == {1, None}
+
+    def test_t5_structure(self):
+        out = exp_t5_blocks(preload=500)
+        assert set(out.data) == {"paxos", "sequencer"}
+        for entry in out.data.values():
+            assert entry["throughput"] > 0
+
+    def test_t6_structure(self):
+        out = exp_t6_detector(timeouts=(0.1,))
+        assert 0.1 in out.data
+        assert out.data[0.1]["gap"] >= 0
+
+    def test_t7_structure(self):
+        out = exp_t7_leases(read_ratios=(0.9,))
+        assert (0.9, "log") in out.data and (0.9, "lease") in out.data
+        assert out.data[(0.9, "lease")]["lease_reads"] > 0
+
+    def test_output_render_roundtrip(self):
+        out = exp_t6_detector(timeouts=(0.1,))
+        for table in out.tables:
+            text = table.render()
+            assert "T6" in text
+        for series in out.series:
+            assert series.render()

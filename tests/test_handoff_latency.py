@@ -1,0 +1,96 @@
+"""Regression tests for client hand-off latency through reconfigurations.
+
+These pin the fix for a subtle availability bug: a client command caught
+mid-seal at a *retiring* replica used to die silently inside the sealed
+instance (engine-level dedup swallowed the re-proposal), so the client
+only recovered via its full request timeout. The retiring replica must
+bounce such clients to the new configuration immediately.
+"""
+
+from repro.apps.kvstore import KvStateMachine
+from repro.core.client import ClientParams
+from repro.core.service import ReplicatedService
+from repro.sim.runner import Simulator
+from repro.types import node_id
+
+
+def saturating_clients(sim, service, count=4):
+    clients = []
+    for i in range(count):
+        rng = sim.rng.fork(f"ho-{i}")
+
+        def ops(rng=rng):
+            key = f"k{rng.randint(0, 30)}"
+            if rng.random() < 0.5:
+                return ("get", (key,), 32)
+            return ("set", (key, 1), 64)
+
+        clients.append(
+            service.make_client(
+                f"c{i}", ops, ClientParams(start_delay=0.2, request_timeout=0.5)
+            )
+        )
+    return clients
+
+
+class TestSealedEpochProposals:
+    def test_propose_newest_refuses_sealed_epochs(self):
+        sim = Simulator(seed=401)
+        service = ReplicatedService(sim, ["n1", "n2", "n3"], KvStateMachine)
+        sim.at(0.3, lambda: service.reconfigure(["n4", "n5", "n6"]))
+        sim.run(until=1.5)
+        retiring = service.replicas[node_id("n1")]
+        assert retiring.epoch_runtime(0).sealed
+        from repro.types import Command, CommandId, client_id
+
+        probe = Command(CommandId(client_id("probe"), 1), "set", ("x", 1), 32)
+        assert retiring._propose_newest(probe) is False
+
+    def test_member_of_both_epochs_still_proposes(self):
+        sim = Simulator(seed=402)
+        service = ReplicatedService(sim, ["n1", "n2", "n3"], KvStateMachine)
+        sim.at(0.3, lambda: service.reconfigure(["n1", "n2", "n4"]))
+        sim.run(until=1.5)
+        survivor = service.replicas[node_id("n1")]
+        from repro.types import Command, CommandId, client_id
+
+        probe = Command(CommandId(client_id("probe"), 2), "set", ("x", 1), 32)
+        assert survivor._propose_newest(probe) is True
+
+    def test_clients_bounced_not_timed_out_on_full_migration(self):
+        """The regression proper: no client may need its request timeout
+        to survive a full-membership migration."""
+        sim = Simulator(seed=403)
+        service = ReplicatedService(sim, ["n1", "n2", "n3"], KvStateMachine)
+        clients = saturating_clients(sim, service)
+        sim.at(1.0, lambda: service.reconfigure(["n4", "n5", "n6"]))
+        sim.run(until=3.0)
+        for client in clients:
+            client.finished = True
+        sim.run(until=3.5)
+        worst = 0.0
+        for client in clients:
+            for record in client.records:
+                worst = max(worst, record.returned_at - record.invoked_at)
+        # Far below the 500ms client timeout: bounce + re-route only.
+        assert worst < 0.25, f"client stalled {worst * 1000:.0f}ms through hand-off"
+
+    def test_ordering_resumes_fast_regardless_of_state_size(self):
+        from repro.bench.experiments import TRANSFER_LATENCY
+        from repro.bench.harness import run_experiment
+        from repro.workload.schedules import full_replacement
+
+        sched = full_replacement(["n1", "n2", "n3"], at=1.0, first_fresh=4)
+        result = run_experiment(
+            "speculative",
+            seed=404,
+            clients=4,
+            run_for=4.0,
+            preload=60_000,
+            schedule=sched,
+            latency=TRANSFER_LATENCY,
+        )
+        first_order = result.orders.first_commit_in_epoch(1)
+        assert first_order is not None
+        # Ordering resumption must not wait for the ~200ms state transfer.
+        assert first_order - 1.0 < 0.08, first_order - 1.0

@@ -1,0 +1,112 @@
+"""Tests for replica-internal structural invariants."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.sim.runner import Simulator
+from repro.types import node_id
+from repro.verify.invariants import (
+    check_chain_agreement,
+    check_no_duplicate_effects,
+    check_prefix_consistency,
+    check_reply_consistency,
+    run_all_invariants,
+)
+from tests.conftest import run_kv_service
+
+
+@pytest.fixture
+def reconfigured_service():
+    sim = Simulator(seed=77)
+    service, clients, finished = run_kv_service(
+        sim,
+        n_ops=60,
+        client_count=2,
+        reconfigs=[(0.4, ("n1", "n2", "n4")), (0.8, ("n2", "n4", "n5"))],
+    )
+    assert finished
+    return service
+
+
+class TestInvariantsOnHealthyRuns:
+    def test_all_invariants_pass(self, reconfigured_service):
+        replicas = list(reconfigured_service.replicas.values())
+        coverage = run_all_invariants(replicas)
+        assert coverage["positions"] > 100
+        assert coverage["epochs"] == 3
+        assert coverage["replies"] >= 120
+        assert coverage["commands"] >= 120
+
+
+class TestInvariantViolationsDetected:
+    def test_prefix_divergence_detected(self, reconfigured_service):
+        replicas = list(reconfigured_service.replicas.values())
+        # Forge a divergent entry on one replica.
+        victim = replicas[0]
+        payload, epoch, vindex = victim.committed[5]
+        victim.committed[5] = ("FORGED", epoch, vindex)
+        with pytest.raises(VerificationError, match="divergence"):
+            check_prefix_consistency(replicas)
+
+    def test_execution_reorder_detected(self, reconfigured_service):
+        replicas = list(reconfigured_service.replicas.values())
+        victim = replicas[0]
+        victim.committed[3], victim.committed[4] = (
+            victim.committed[4],
+            victim.committed[3],
+        )
+        with pytest.raises(VerificationError, match="out of order"):
+            check_prefix_consistency([victim])
+
+    def test_duplicate_position_detected(self, reconfigured_service):
+        replicas = list(reconfigured_service.replicas.values())
+        victim = replicas[0]
+        victim.committed.insert(4, victim.committed[3])
+        with pytest.raises(VerificationError, match="out of order"):
+            check_prefix_consistency([victim])
+
+    def test_chain_disagreement_detected(self, reconfigured_service):
+        replicas = [
+            r for r in reconfigured_service.replicas.values() if 0 in r.chain
+        ]
+        from repro.types import Configuration, Membership
+
+        replicas[0].chain[0].config = Configuration(0, Membership.of("zz"))
+        with pytest.raises(VerificationError, match="membership disagreement"):
+            check_chain_agreement(replicas)
+
+    def test_cut_disagreement_detected(self, reconfigured_service):
+        replicas = [
+            r for r in reconfigured_service.replicas.values()
+            if 0 in r.chain and r.chain[0].sealed
+        ]
+        replicas[0].chain[0].cut_slot += 1
+        with pytest.raises(VerificationError, match="cut disagreement"):
+            check_chain_agreement(replicas)
+
+    def test_reply_inconsistency_detected(self, reconfigured_service):
+        replicas = list(reconfigured_service.replicas.values())
+        with_replies = [r for r in replicas if r._replies]
+        victim = with_replies[0]
+        cid = next(iter(victim._replies))
+        value, epoch, vindex = victim._replies[cid]
+        victim._replies[cid] = ("FORGED", epoch, vindex)
+        # The same cid must exist on another replica for the check to bite.
+        others = [r for r in with_replies[1:] if cid in r._replies]
+        if others:
+            with pytest.raises(VerificationError, match="answered differently"):
+                check_reply_consistency([victim] + others)
+
+    def test_duplicate_effect_detected(self, reconfigured_service):
+        replicas = list(reconfigured_service.replicas.values())
+        victim = next(r for r in replicas if r.state is not None)
+        # Duplicate a command entry without any suppression recorded.
+        from repro.types import Command
+
+        command_entry = next(
+            (p, e, v) for (p, e, v) in victim.committed if isinstance(p, Command)
+        )
+        victim.committed.append(command_entry)
+        victim.state.duplicates_suppressed = 0
+        with pytest.raises(VerificationError, match="duplicate entry"):
+            check_no_duplicate_effects([victim])

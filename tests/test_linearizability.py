@@ -1,0 +1,254 @@
+"""Tests for the history model and the linearizability checker."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import HistoryError, VerificationError
+from repro.types import CommandId, client_id
+from repro.verify.histories import History, Operation
+from repro.verify.linearizability import check_kv_linearizable
+
+
+def op(client, seq, kind, args, inv, ret, value):
+    return Operation(
+        cid=CommandId(client_id(client), seq),
+        op=kind,
+        args=args,
+        invoked_at=inv,
+        returned_at=ret,
+        value=value,
+    )
+
+
+class TestHistoryModel:
+    def test_orders_by_invocation(self):
+        history = History(
+            [
+                op("b", 1, "get", ("k",), 2.0, 3.0, None),
+                op("a", 1, "set", ("k", 1), 0.0, 1.0, "ok"),
+            ]
+        )
+        assert history.operations[0].cid.client == "a"
+
+    def test_duplicate_cid_rejected(self):
+        with pytest.raises(HistoryError):
+            History(
+                [
+                    op("a", 1, "get", ("k",), 0.0, 1.0, None),
+                    op("a", 1, "get", ("k",), 2.0, 3.0, None),
+                ]
+            )
+
+    def test_return_before_invoke_rejected(self):
+        with pytest.raises(HistoryError):
+            History([op("a", 1, "get", ("k",), 5.0, 1.0, None)])
+
+    def test_pending_and_completed_partitions(self):
+        history = History(
+            [
+                op("a", 1, "set", ("k", 1), 0.0, 1.0, "ok"),
+                op("a", 2, "get", ("k",), 2.0, None, None),
+            ]
+        )
+        assert len(history.completed) == 1
+        assert len(history.pending) == 1
+
+    def test_by_key_partitions(self):
+        history = History(
+            [
+                op("a", 1, "set", ("x", 1), 0.0, 1.0, "ok"),
+                op("a", 2, "set", ("y", 1), 2.0, 3.0, "ok"),
+                op("b", 1, "get", ("x",), 0.5, 1.5, 1),
+            ]
+        )
+        parts = history.by_key()
+        assert set(parts) == {"x", "y"}
+        assert len(parts["x"]) == 2
+
+
+class TestLinearizableHistories:
+    def test_sequential_history_passes(self):
+        history = History(
+            [
+                op("a", 1, "set", ("k", 1), 0.0, 1.0, "ok"),
+                op("a", 2, "get", ("k",), 2.0, 3.0, 1),
+                op("a", 3, "set", ("k", 2), 4.0, 5.0, "ok"),
+                op("a", 4, "get", ("k",), 6.0, 7.0, 2),
+            ]
+        )
+        assert check_kv_linearizable(history).ok
+
+    def test_concurrent_overlap_both_orders_ok(self):
+        # get overlaps the set: reading either old or new value is legal.
+        for observed in (None, 1):
+            history = History(
+                [
+                    op("a", 1, "set", ("k", 1), 0.0, 2.0, "ok"),
+                    op("b", 1, "get", ("k",), 1.0, 3.0, observed),
+                ]
+            )
+            assert check_kv_linearizable(history).ok
+
+    def test_stale_read_fails(self):
+        history = History(
+            [
+                op("a", 1, "set", ("k", 1), 0.0, 1.0, "ok"),
+                op("b", 1, "get", ("k",), 2.0, 3.0, None),  # must see 1
+            ]
+        )
+        result = check_kv_linearizable(history)
+        assert not result.ok
+        assert result.failing_key == "k"
+
+    def test_lost_update_fails(self):
+        history = History(
+            [
+                op("a", 1, "set", ("k", 1), 0.0, 1.0, "ok"),
+                op("a", 2, "set", ("k", 2), 2.0, 3.0, "ok"),
+                op("b", 1, "get", ("k",), 4.0, 5.0, 1),  # update 2 vanished
+            ]
+        )
+        assert not check_kv_linearizable(history).ok
+
+    def test_cas_order_sensitivity(self):
+        # cas(0->1) then cas(1->2) both succeeding is fine sequentially...
+        good = History(
+            [
+                op("a", 1, "set", ("k", 0), 0.0, 1.0, "ok"),
+                op("a", 2, "cas", ("k", 0, 1), 2.0, 3.0, True),
+                op("b", 1, "cas", ("k", 1, 2), 4.0, 5.0, True),
+            ]
+        )
+        assert check_kv_linearizable(good).ok
+        # ...but both claiming success from the same expected value, in
+        # non-overlapping intervals, is impossible.
+        bad = History(
+            [
+                op("a", 1, "set", ("k", 0), 0.0, 1.0, "ok"),
+                op("a", 2, "cas", ("k", 0, 1), 2.0, 3.0, True),
+                op("b", 1, "cas", ("k", 0, 2), 4.0, 5.0, True),
+            ]
+        )
+        assert not check_kv_linearizable(bad).ok
+
+    def test_delete_semantics(self):
+        history = History(
+            [
+                op("a", 1, "set", ("k", 1), 0.0, 1.0, "ok"),
+                op("a", 2, "delete", ("k",), 2.0, 3.0, True),
+                op("a", 3, "delete", ("k",), 4.0, 5.0, False),
+                op("b", 1, "get", ("k",), 6.0, 7.0, None),
+            ]
+        )
+        assert check_kv_linearizable(history).ok
+
+    def test_pending_op_may_have_executed(self):
+        # The pending set may explain the later read...
+        history = History(
+            [
+                op("a", 1, "set", ("k", 7), 0.0, None, None),  # pending
+                op("b", 1, "get", ("k",), 1.0, 2.0, 7),
+            ]
+        )
+        assert check_kv_linearizable(history).ok
+
+    def test_pending_op_may_never_execute(self):
+        history = History(
+            [
+                op("a", 1, "set", ("k", 7), 0.0, None, None),  # pending
+                op("b", 1, "get", ("k",), 1.0, 2.0, None),
+            ]
+        )
+        assert check_kv_linearizable(history).ok
+
+    def test_real_time_order_enforced(self):
+        # b's get returns AFTER a's set returned; reading the pre-state is
+        # only legal if they overlap — here they don't.
+        history = History(
+            [
+                op("a", 1, "set", ("k", 1), 0.0, 1.0, "ok"),
+                op("b", 1, "get", ("k",), 1.5, 2.0, None),
+            ]
+        )
+        assert not check_kv_linearizable(history).ok
+
+    def test_raise_on_failure_flag(self):
+        history = History(
+            [
+                op("a", 1, "set", ("k", 1), 0.0, 1.0, "ok"),
+                op("b", 1, "get", ("k",), 2.0, 3.0, None),
+            ]
+        )
+        with pytest.raises(VerificationError):
+            check_kv_linearizable(history, raise_on_failure=True)
+
+    def test_keys_checked_independently(self):
+        history = History(
+            [
+                op("a", 1, "set", ("x", 1), 0.0, 1.0, "ok"),
+                op("a", 2, "set", ("y", 1), 2.0, 3.0, "ok"),
+                op("b", 1, "get", ("y",), 4.0, 5.0, None),  # y is broken
+            ]
+        )
+        result = check_kv_linearizable(history)
+        assert not result.ok and result.failing_key == "y"
+
+
+@st.composite
+def sequential_kv_history(draw):
+    """Generate a truly sequential (non-overlapping) random history."""
+    n = draw(st.integers(min_value=1, max_value=25))
+    operations = []
+    state = None
+    t = 0.0
+    for i in range(n):
+        kind = draw(st.sampled_from(["get", "set", "cas", "delete"]))
+        if kind == "get":
+            operations.append(op("c", i + 1, "get", ("k",), t, t + 1, state))
+        elif kind == "set":
+            value = draw(st.integers(0, 5))
+            operations.append(op("c", i + 1, "set", ("k", value), t, t + 1, "ok"))
+            state = value
+        elif kind == "delete":
+            operations.append(op("c", i + 1, "delete", ("k",), t, t + 1, state is not None))
+            state = None
+        else:
+            expected = draw(st.integers(0, 5))
+            new = draw(st.integers(0, 5))
+            success = state == expected
+            operations.append(
+                op("c", i + 1, "cas", ("k", expected, new), t, t + 1, success)
+            )
+            if success:
+                state = new
+        t += 2.0
+    return History(operations)
+
+
+class TestCheckerProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(sequential_kv_history())
+    def test_sequential_histories_always_linearizable(self, history):
+        assert check_kv_linearizable(history).ok
+
+    @settings(max_examples=50, deadline=None)
+    @given(sequential_kv_history())
+    def test_corrupting_a_get_breaks_linearizability(self, history):
+        gets = [
+            (i, o)
+            for i, o in enumerate(history.operations)
+            if o.op == "get" and not o.pending
+        ]
+        if not gets:
+            return
+        index, target = gets[-1]
+        corrupted = list(history.operations)
+        corrupted[index] = Operation(
+            cid=target.cid,
+            op="get",
+            args=target.args,
+            invoked_at=target.invoked_at,
+            returned_at=target.returned_at,
+            value=(target.value or 0) + 1000,
+        )
+        assert not check_kv_linearizable(History(corrupted)).ok

@@ -1,0 +1,143 @@
+"""Tests for statistics, collectors, and report rendering."""
+
+import pytest
+
+from repro.core.client import OpRecord
+from repro.errors import ConfigurationError
+from repro.metrics.collectors import CommitCollector, CompletionCollector
+from repro.metrics.report import Series, Table
+from repro.metrics.stats import Timeline, longest_gap, percentile, summarize_latencies
+from repro.types import CommandId, client_id
+
+
+class TestPercentile:
+    def test_median_of_odd_list(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_p0_and_p100(self):
+        data = [float(i) for i in range(1, 11)]
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 100) == 10.0
+
+    def test_p99_of_hundred(self):
+        data = [float(i) for i in range(1, 101)]
+        assert percentile(data, 99) == 99.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            percentile([], 50)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            percentile([1.0], 150)
+
+
+class TestLatencySummary:
+    def test_summary_converts_to_ms(self):
+        summary = summarize_latencies([0.001, 0.002, 0.003])
+        assert summary.count == 3
+        assert summary.mean_ms == pytest.approx(2.0)
+        assert summary.max_ms == pytest.approx(3.0)
+
+    def test_empty_summary_is_zeroes(self):
+        summary = summarize_latencies([])
+        assert summary.count == 0
+        assert summary.max_ms == 0.0
+
+    def test_row_renders_strings(self):
+        assert len(summarize_latencies([0.01]).row()) == 6
+
+
+class TestLongestGap:
+    def test_gap_between_events(self):
+        assert longest_gap([1.0, 2.0, 5.0], 0.0, 6.0) == 3.0
+
+    def test_empty_window_is_full_gap(self):
+        assert longest_gap([], 0.0, 10.0) == 10.0
+
+    def test_leading_and_trailing_gaps_counted(self):
+        assert longest_gap([4.0], 0.0, 5.0) == 4.0
+        assert longest_gap([1.0], 0.0, 5.0) == 4.0
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            longest_gap([], 5.0, 5.0)
+
+
+class TestTimeline:
+    def test_bins_and_rates(self):
+        timeline = Timeline(0.5)
+        for t in (0.1, 0.2, 0.6, 1.4):
+            timeline.record(t)
+        series = dict((x, y) for x, y in timeline.series(0.0, 1.5))
+        assert series[0.0] == 4.0  # 2 events / 0.5s
+        assert series[0.5] == 2.0
+        assert series[1.0] == 2.0
+        assert timeline.total() == 4
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Timeline(0.0)
+
+
+class TestCollectors:
+    def _record(self, t0, t1, retries=0):
+        return OpRecord(
+            cid=CommandId(client_id("c"), 1),
+            op="get",
+            args=("k",),
+            invoked_at=t0,
+            returned_at=t1,
+            value=None,
+            retries=retries,
+        )
+
+    def test_completion_collector_aggregates(self):
+        collector = CompletionCollector(bin_width=1.0)
+        collector.on_complete(self._record(0.0, 0.5))
+        collector.on_complete(self._record(1.0, 1.2, retries=2))
+        assert collector.count == 2
+        assert collector.retries == 2
+        assert collector.throughput(0.0, 2.0) == 1.0
+        assert collector.unavailability(0.0, 2.0) > 0
+
+    def test_latencies_between(self):
+        collector = CompletionCollector()
+        collector.on_complete(self._record(0.0, 0.5))
+        collector.on_complete(self._record(1.0, 3.0))
+        assert collector.latencies_between(0.0, 1.0) == [0.5]
+
+    def test_commit_collector_epochs(self):
+        commits = CommitCollector()
+        commits.listener(1.0, "p", 0, 0, None)
+        commits.listener(2.0, "p", 1, 1, None)
+        assert commits.count == 2
+        assert commits.first_commit_in_epoch(1) == 2.0
+        assert commits.first_commit_in_epoch(7) is None
+
+
+class TestReportRendering:
+    def test_table_alignment(self):
+        table = Table("demo", ["a", "bbbb"])
+        table.add_row(1, "x")
+        table.add_row("longer", 2)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "== demo =="
+        assert all("|" in line for line in lines[1:] if "-" not in line)
+
+    def test_table_wrong_arity_rejected(self):
+        table = Table("demo", ["a", "b"])
+        with pytest.raises(ConfigurationError):
+            table.add_row(1)
+
+    def test_series_bars_scale_to_peak(self):
+        series = Series("demo", "x", "y", width=10)
+        series.add(0.0, 5.0)
+        series.add(1.0, 10.0, "peak")
+        text = series.render()
+        assert "##########" in text
+        assert "peak" in text
+
+    def test_empty_series(self):
+        assert "(no data)" in Series("demo", "x", "y").render()

@@ -1,0 +1,226 @@
+"""Tests for the static Multi-Paxos engine via StaticSmrHost clusters."""
+
+import pytest
+
+from repro.consensus.interface import Noop, StaticSmrHost, proposal_key
+from repro.consensus.multipaxos import MultiPaxosEngine, PaxosParams
+from repro.sim.network import LatencyModel
+from repro.sim.runner import Simulator
+from repro.types import Command, CommandId, Membership, client_id, node_id
+
+
+def make_cluster(n=3, seed=1, latency=None, params=None):
+    sim = Simulator(seed=seed, latency=latency)
+    members = Membership.from_iter(f"n{i + 1}" for i in range(n))
+    hosts = {
+        node: StaticSmrHost(sim, node, members, MultiPaxosEngine.factory(params))
+        for node in members
+    }
+    return sim, hosts
+
+
+def cmd(seq, client="c", op="set", args=("k", 1)):
+    return Command(CommandId(client_id(client), seq), op, args)
+
+
+def decided_payloads(host):
+    return [d.payload for d in host.decisions]
+
+
+def assert_logs_prefix_consistent(hosts):
+    logs = [decided_payloads(h) for h in hosts.values() if not h.crashed]
+    shortest = min(len(log) for log in logs)
+    for log in logs[1:]:
+        assert log[:shortest] == logs[0][:shortest]
+
+
+class TestElection:
+    def test_lowest_id_becomes_initial_leader(self):
+        sim, hosts = make_cluster()
+        sim.run(until=0.1)
+        leaders = [h.node for h in hosts.values() if h.engine.is_leader]
+        assert leaders == ["n1"]
+
+    def test_exactly_one_leader_settles(self):
+        sim, hosts = make_cluster(n=5, seed=9)
+        sim.run(until=0.5)
+        assert sum(1 for h in hosts.values() if h.engine.is_leader) == 1
+
+    def test_takeover_after_leader_crash(self):
+        sim, hosts = make_cluster()
+        sim.run(until=0.1)
+        hosts[node_id("n1")].crash()
+        sim.run(until=1.0)
+        live_leaders = [
+            h.node for h in hosts.values() if not h.crashed and h.engine.is_leader
+        ]
+        assert len(live_leaders) == 1
+
+    def test_single_node_cluster_leads_itself(self):
+        sim, hosts = make_cluster(n=1)
+        sim.run(until=0.1)
+        host = hosts[node_id("n1")]
+        assert host.engine.is_leader
+        host.propose(cmd(1))
+        sim.run(until=0.5)
+        assert len(host.decisions) == 1
+
+
+class TestReplication:
+    def test_commands_decided_on_all_members(self):
+        sim, hosts = make_cluster()
+        sim.run(until=0.1)
+        for i in range(20):
+            hosts[node_id("n1")].propose(cmd(i + 1))
+        sim.run(until=1.0)
+        for host in hosts.values():
+            assert len(host.decisions) == 20
+        assert_logs_prefix_consistent(hosts)
+
+    def test_follower_proposals_forwarded(self):
+        sim, hosts = make_cluster()
+        sim.run(until=0.1)
+        hosts[node_id("n3")].propose(cmd(1))
+        sim.run(until=1.0)
+        assert len(hosts[node_id("n1")].decisions) == 1
+
+    def test_duplicate_proposals_one_slot(self):
+        sim, hosts = make_cluster()
+        sim.run(until=0.1)
+        command = cmd(1)
+        for host in hosts.values():
+            host.propose(command)
+        sim.run(until=1.0)
+        payloads = decided_payloads(hosts[node_id("n1")])
+        assert payloads.count(command) == 1
+
+    def test_proposals_before_election_are_buffered(self):
+        sim, hosts = make_cluster()
+        hosts[node_id("n2")].propose(cmd(1))  # no leader known yet
+        sim.run(until=1.0)
+        assert decided_payloads(hosts[node_id("n2")]) == [cmd(1)]
+
+    def test_decisions_survive_message_loss(self):
+        sim, hosts = make_cluster(latency=LatencyModel(drop_probability=0.10), seed=4)
+        sim.run(until=0.3)
+        for i in range(30):
+            sim.at(0.3 + i * 0.01, lambda i=i: hosts[node_id("n2")].propose(cmd(i + 1)))
+        sim.run(until=6.0)
+        decided_counts = [len(h.decisions) for h in hosts.values()]
+        assert min(decided_counts) >= 30
+        assert_logs_prefix_consistent(hosts)
+
+    def test_commands_survive_leader_crash(self):
+        sim, hosts = make_cluster(seed=6)
+        sim.run(until=0.1)
+        for i in range(40):
+            sim.at(0.1 + i * 0.005, lambda i=i: hosts[node_id("n2")].propose(cmd(i + 1)))
+        sim.at(0.2, hosts[node_id("n1")].crash)
+        sim.run(until=4.0)
+        survivors = [h for h in hosts.values() if not h.crashed]
+        cids = {
+            p.cid for h in survivors for p in decided_payloads(h) if hasattr(p, "cid")
+        }
+        assert len(cids) == 40
+        assert_logs_prefix_consistent(hosts)
+
+    def test_duplication_and_loss_together(self):
+        latency = LatencyModel(drop_probability=0.05, duplicate_probability=0.1)
+        sim, hosts = make_cluster(latency=latency, seed=8)
+        sim.run(until=0.3)
+        for i in range(20):
+            sim.at(0.3 + i * 0.01, lambda i=i: hosts[node_id("n3")].propose(cmd(i + 1)))
+        sim.run(until=5.0)
+        payloads = decided_payloads(hosts[node_id("n1")])
+        command_payloads = [p for p in payloads if hasattr(p, "cid")]
+        assert len({p.cid for p in command_payloads}) == 20
+        # dedup: no command occupies two slots
+        assert len(command_payloads) == len({p.cid for p in command_payloads})
+        assert_logs_prefix_consistent(hosts)
+
+
+class TestCatchup:
+    def test_partitioned_follower_catches_up(self):
+        sim, hosts = make_cluster(seed=5)
+        sim.run(until=0.1)
+        sim.network.partition("cut", ["n3"], ["n1", "n2"])
+        for i in range(15):
+            hosts[node_id("n1")].propose(cmd(i + 1))
+        sim.run(until=1.0)
+        assert len(hosts[node_id("n3")].decisions) == 0
+        sim.network.heal("cut")
+        sim.run(until=3.0)
+        assert len(hosts[node_id("n3")].decisions) == 15
+        assert_logs_prefix_consistent(hosts)
+
+    def test_noop_gap_fill_on_leader_change(self):
+        # Crash the leader mid-burst; the new leader must render the log
+        # gap-free (possibly with Noops) so delivery resumes.
+        sim, hosts = make_cluster(seed=7)
+        sim.run(until=0.1)
+        for i in range(30):
+            hosts[node_id("n1")].propose(cmd(i + 1))
+        sim.at(0.105, hosts[node_id("n1")].crash)
+        sim.run(until=4.0)
+        for host in hosts.values():
+            if host.crashed:
+                continue
+            engine = host.engine
+            assert not engine.log.has_gap
+            assert engine.log.next_to_deliver >= 30 or all(
+                isinstance(p, Noop) or hasattr(p, "cid")
+                for p in decided_payloads(host)
+            )
+        assert_logs_prefix_consistent(hosts)
+
+
+class TestEngineLifecycle:
+    def test_stop_silences_engine(self):
+        sim, hosts = make_cluster()
+        sim.run(until=0.1)
+        engine = hosts[node_id("n2")].engine
+        engine.stop()
+        before = len(hosts[node_id("n2")].decisions)
+        hosts[node_id("n1")].propose(cmd(1))
+        sim.run(until=1.0)
+        assert len(hosts[node_id("n2")].decisions) == before
+
+    def test_next_undelivered_slot_watermark(self):
+        sim, hosts = make_cluster()
+        sim.run(until=0.1)
+        assert hosts[node_id("n1")].engine.next_undelivered_slot == 0
+        hosts[node_id("n1")].propose(cmd(1))
+        sim.run(until=1.0)
+        assert hosts[node_id("n1")].engine.next_undelivered_slot == 1
+
+
+class TestProposalKey:
+    def test_command_key_uses_cid(self):
+        command = cmd(3)
+        assert proposal_key(command) == ("cmd", command.cid)
+
+    def test_noop_has_no_key(self):
+        assert proposal_key(Noop()) is None
+
+    def test_raw_hashables_get_raw_key(self):
+        assert proposal_key("x") == ("raw", "x")
+        assert proposal_key(7) == ("raw", 7)
+
+    def test_unhashable_payloads_get_none(self):
+        assert proposal_key(["list"]) is None
+
+
+class TestDeterminism:
+    def _run(self, seed):
+        sim, hosts = make_cluster(seed=seed)
+        sim.run(until=0.1)
+        for i in range(10):
+            hosts[node_id("n2")].propose(cmd(i + 1))
+        sim.run(until=1.0)
+        return [
+            (str(h.node), [str(p) for p in decided_payloads(h)])
+            for h in hosts.values()
+        ], sim.events_executed
+
+    def test_same_seed_same_outcome(self):
+        assert self._run(21) == self._run(21)

@@ -1,0 +1,165 @@
+"""Depth tests: Raft persistence, Paxos stickiness, raw static service,
+and a model-based dedup property."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.counter import CounterStateMachine
+from repro.apps.kvstore import KvStateMachine
+from repro.baselines.raft_service import RaftService
+from repro.bench.rawstatic import RawPaxosService
+from repro.core.client import ClientParams
+from repro.core.statemachine import DedupStateMachine
+from repro.sim.runner import Simulator
+from repro.types import Command, CommandId, client_id, node_id
+
+
+def kv_ops(n):
+    budget = [n]
+
+    def ops():
+        if budget[0] <= 0:
+            return None
+        budget[0] -= 1
+        return ("set", (f"k{budget[0] % 5}", budget[0]), 64)
+
+    return ops
+
+
+class TestRaftPersistence:
+    def test_full_cluster_restart_preserves_log(self):
+        sim = Simulator(seed=501)
+        service = RaftService(sim, ["n1", "n2", "n3"], KvStateMachine)
+        client = service.make_client("c1", kv_ops(30), ClientParams(start_delay=0.3))
+        sim.run_until(lambda: client.finished, timeout=10.0)
+        sim.run(until=sim.now + 0.3)
+        applied_before = {
+            str(n): r.last_applied for n, r in service.replicas.items()
+        }
+        # Power cycle everyone.
+        for replica in service.replicas.values():
+            replica.crash()
+        sim.run(until=sim.now + 0.5)
+        for replica in service.replicas.values():
+            replica.restart()
+        # A leader re-emerges and the committed history is intact.
+        ok = sim.run_until(lambda: service.leader() is not None, timeout=5.0)
+        assert ok
+        sim.run(until=sim.now + 0.5)
+        for name, replica in service.replicas.items():
+            assert replica.last_applied >= applied_before[str(name)] - 1
+            assert replica.state.inner.apply(
+                Command(CommandId(client_id("probe"), 1), "get", ("k0",))
+            ) is not None
+
+    def test_minority_restart_catches_up(self):
+        sim = Simulator(seed=502)
+        service = RaftService(sim, ["n1", "n2", "n3"], KvStateMachine)
+        client = service.make_client("c1", kv_ops(40), ClientParams(start_delay=0.3))
+        follower = service.replicas[node_id("n3")]
+        sim.at(0.5, follower.crash)
+        sim.at(0.9, follower.restart)
+        sim.run_until(lambda: client.finished, timeout=10.0)
+        sim.run(until=sim.now + 1.0)
+        leader = service.leader()
+        assert follower.last_applied == leader.last_applied
+
+
+class TestPaxosVoteStickiness:
+    def test_challenger_refused_while_leader_alive(self):
+        from repro.consensus.ballot import Ballot
+        from repro.consensus.interface import StaticSmrHost
+        from repro.consensus.multipaxos import MultiPaxosEngine
+        from repro.consensus import messages as m
+        from repro.types import Membership
+
+        sim = Simulator(seed=503)
+        members = Membership.of("n1", "n2", "n3")
+        hosts = {
+            n: StaticSmrHost(sim, n, members, MultiPaxosEngine.factory())
+            for n in members
+        }
+        sim.run(until=0.5)  # n1 leads, heartbeats flowing
+        follower = hosts[node_id("n2")].engine
+        before = follower.promised
+        # A rogue prepare with a huge ballot must be nacked, not promised.
+        follower.on_message(
+            m.Prepare(Ballot(99, node_id("n3")), 0), node_id("n3")
+        )
+        assert follower.promised == before
+        assert hosts[node_id("n1")].engine.is_leader
+
+    def test_failover_still_possible_after_silence(self):
+        from repro.consensus.interface import StaticSmrHost
+        from repro.consensus.multipaxos import MultiPaxosEngine
+        from repro.types import Membership
+
+        sim = Simulator(seed=504)
+        members = Membership.of("n1", "n2", "n3")
+        hosts = {
+            n: StaticSmrHost(sim, n, members, MultiPaxosEngine.factory())
+            for n in members
+        }
+        sim.run(until=0.3)
+        hosts[node_id("n1")].crash()
+        sim.run(until=2.0)
+        live_leaders = [
+            h.node for h in hosts.values() if not h.crashed and h.engine.is_leader
+        ]
+        assert len(live_leaders) == 1
+
+
+class TestRawStaticService:
+    def test_serves_and_dedups(self):
+        sim = Simulator(seed=505)
+        service = RawPaxosService(sim, ["n1", "n2", "n3"], KvStateMachine)
+        client = service.make_client(
+            "c1", kv_ops(25), ClientParams(start_delay=0.2, request_timeout=0.2)
+        )
+        done = sim.run_until(lambda: client.finished, timeout=10.0)
+        assert done
+        replica = service.replicas[node_id("n1")]
+        assert replica.applied == 25
+
+    def test_survives_follower_crash(self):
+        sim = Simulator(seed=506)
+        service = RawPaxosService(sim, ["n1", "n2", "n3"], KvStateMachine)
+        client = service.make_client(
+            "c1", kv_ops(30), ClientParams(start_delay=0.2, request_timeout=0.2)
+        )
+        sim.at(0.4, service.replicas[node_id("n3")].crash)
+        done = sim.run_until(lambda: client.finished, timeout=15.0)
+        assert done
+
+    def test_cannot_reconfigure(self):
+        sim = Simulator(seed=507)
+        service = RawPaxosService(sim, ["n1", "n2"], KvStateMachine)
+        assert not hasattr(service, "reconfigure")
+
+
+class TestDedupModelProperty:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 8), st.booleans()),  # (seq, is_duplicate_burst)
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_matches_at_most_once_model(self, raw_sequence):
+        """Feed an arbitrary seq pattern (with duplicates, including stale
+        re-deliveries) and check against a simple at-most-once model."""
+        sm = DedupStateMachine(CounterStateMachine())
+        model_applied: set[int] = set()
+        model_value = 0
+        highest = 0
+        for seq, burst in raw_sequence:
+            times = 2 if burst else 1
+            for _ in range(times):
+                command = Command(CommandId(client_id("c"), seq), "incr", ("x", 1))
+                sm.apply(command)
+                # Model: applies iff strictly newer than anything seen.
+                if seq > highest:
+                    model_applied.add(seq)
+                    model_value += 1
+                    highest = seq
+        assert sm.inner.value("x") == model_value

@@ -1,0 +1,84 @@
+"""Tests for the ReplicatedService facade."""
+
+import pytest
+
+from repro.apps.kvstore import KvStateMachine
+from repro.core.service import ReplicatedService
+from repro.errors import ConfigurationError
+from repro.sim.runner import Simulator
+from repro.types import node_id
+
+
+class TestServiceFacade:
+    def test_empty_membership_rejected(self):
+        sim = Simulator(seed=1)
+        with pytest.raises(ConfigurationError):
+            ReplicatedService(sim, [], KvStateMachine)
+
+    def test_reconfigure_to_empty_rejected(self):
+        sim = Simulator(seed=1)
+        service = ReplicatedService(sim, ["n1"], KvStateMachine)
+        with pytest.raises(ConfigurationError):
+            service.reconfigure([])
+
+    def test_reconfigure_spawns_missing_replicas(self):
+        sim = Simulator(seed=1)
+        service = ReplicatedService(sim, ["n1", "n2", "n3"], KvStateMachine)
+        sim.run(until=0.2)
+        service.reconfigure(["n1", "n2", "n9"])
+        assert node_id("n9") in service.replicas
+
+    def test_newest_epoch_tracks_chain(self):
+        sim = Simulator(seed=1)
+        service = ReplicatedService(sim, ["n1", "n2", "n3"], KvStateMachine)
+        assert service.newest_epoch() == 0
+        sim.at(0.3, lambda: service.reconfigure(["n1", "n2", "n4"]))
+        sim.run(until=2.0)
+        assert service.newest_epoch() == 1
+
+    def test_epoch_settled(self):
+        sim = Simulator(seed=1)
+        service = ReplicatedService(sim, ["n1", "n2", "n3"], KvStateMachine)
+        sim.run(until=0.2)
+        assert service.epoch_settled(0)
+        sim.at(0.3, lambda: service.reconfigure(["n1", "n2", "n4"]))
+        sim.run(until=2.0)
+        assert service.epoch_settled(1)
+
+    def test_live_members_excludes_crashed(self):
+        sim = Simulator(seed=1)
+        service = ReplicatedService(sim, ["n1", "n2", "n3"], KvStateMachine)
+        sim.run(until=0.2)
+        service.replicas[node_id("n2")].crash()
+        live = [r.node for r in service.live_members()]
+        assert node_id("n2") not in live
+        assert len(live) == 2
+
+    def test_commit_and_order_listeners_plumbed(self):
+        sim = Simulator(seed=1)
+        commits, orders = [], []
+        service = ReplicatedService(
+            sim,
+            ["n1", "n2", "n3"],
+            KvStateMachine,
+            commit_listener=lambda *a: commits.append(a),
+            order_listener=lambda *a: orders.append(a),
+        )
+        budget = [5]
+
+        def ops():
+            if budget[0] <= 0:
+                return None
+            budget[0] -= 1
+            return ("set", ("k", 1), 32)
+
+        client = service.make_client("c1", ops)
+        sim.run_until(lambda: client.finished, timeout=10.0)
+        assert len(commits) >= 5
+        assert len(orders) >= 5
+
+    def test_clients_listed(self):
+        sim = Simulator(seed=1)
+        service = ReplicatedService(sim, ["n1"], KvStateMachine)
+        service.make_client("c1", lambda: None)
+        assert len(service.clients) == 1

@@ -1,0 +1,79 @@
+"""Unit tests for the event queue and timers."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import EventQueue, Timer
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(2.0, lambda: fired.append("b"))
+        queue.schedule(1.0, lambda: fired.append("a"))
+        queue.schedule(3.0, lambda: fired.append("c"))
+        while (event := queue.pop_next()) is not None:
+            event.action()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_fires_in_schedule_order(self):
+        queue = EventQueue()
+        fired = []
+        for i in range(10):
+            queue.schedule(1.0, lambda i=i: fired.append(i))
+        while (event := queue.pop_next()) is not None:
+            event.action()
+        assert fired == list(range(10))
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        fired = []
+        event = queue.schedule(1.0, lambda: fired.append("x"))
+        queue.schedule(2.0, lambda: fired.append("y"))
+        event.cancel()
+        while (nxt := queue.pop_next()) is not None:
+            nxt.action()
+        assert fired == ["y"]
+
+    def test_len_tracks_live_events(self):
+        queue = EventQueue()
+        a = queue.schedule(1.0, lambda: None)
+        queue.schedule(2.0, lambda: None)
+        assert len(queue) == 2
+        a.cancel()
+        # Lazy cancellation: live count corrected as events surface.
+        queue.pop_next()
+        assert len(queue) == 1
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        a = queue.schedule(1.0, lambda: None)
+        queue.schedule(5.0, lambda: None)
+        a.cancel()
+        assert queue.peek_time() == 5.0
+
+    def test_empty_queue_pops_none(self):
+        assert EventQueue().pop_next() is None
+        assert EventQueue().peek_time() is None
+
+    def test_validate_rejects_past(self):
+        queue = EventQueue()
+        with pytest.raises(SimulationError):
+            queue.validate_schedule_time(now=5.0, time=4.0)
+
+
+class TestTimer:
+    def test_timer_cancel(self):
+        queue = EventQueue()
+        event = queue.schedule(1.0, lambda: None)
+        timer = Timer(event)
+        assert timer.active
+        timer.cancel()
+        assert not timer.active
+        assert queue.pop_next() is None
+
+    def test_fire_time(self):
+        queue = EventQueue()
+        timer = Timer(queue.schedule(3.5, lambda: None))
+        assert timer.fire_time == 3.5

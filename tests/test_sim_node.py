@@ -1,0 +1,140 @@
+"""Tests for the Process abstraction: lifecycle, timers, messaging."""
+
+from repro.sim.node import Process
+from repro.sim.runner import Simulator
+from repro.types import node_id
+
+
+class Echo(Process):
+    def __init__(self, sim, node):
+        super().__init__(sim, node)
+        self.received = []
+        self.started = 0
+        self.crashes = 0
+        self.restarts = 0
+
+    def on_message(self, payload, sender):
+        self.received.append((payload, sender))
+
+    def on_start(self):
+        self.started += 1
+
+    def on_crash(self):
+        self.crashes += 1
+
+    def on_restart(self):
+        self.restarts += 1
+
+
+def make_pair():
+    sim = Simulator(seed=2)
+    a = Echo(sim, node_id("a"))
+    b = Echo(sim, node_id("b"))
+    return sim, a, b
+
+
+class TestMessaging:
+    def test_send_and_receive(self):
+        sim, a, b = make_pair()
+        a.send(b.node, "hi")
+        sim.run()
+        assert b.received == [("hi", "a")]
+
+    def test_broadcast_excludes_self(self):
+        sim, a, b = make_pair()
+        c = Echo(sim, node_id("c"))
+        a.broadcast([a.node, b.node, c.node], "x")
+        sim.run()
+        assert a.received == []
+        assert len(b.received) == 1 and len(c.received) == 1
+
+    def test_send_self_includes_loopback(self):
+        sim, a, b = make_pair()
+        a.send_self([a.node, b.node], "x")
+        sim.run()
+        assert len(a.received) == 1
+        assert len(b.received) == 1
+
+    def test_crashed_node_does_not_send(self):
+        sim, a, b = make_pair()
+        a.crash()
+        a.send(b.node, "x")
+        sim.run()
+        assert b.received == []
+
+    def test_crashed_node_drops_incoming(self):
+        sim, a, b = make_pair()
+        a.send(b.node, "x")
+        b.crash()
+        sim.run()
+        assert b.received == []
+
+
+class TestTimers:
+    def test_timer_fires(self):
+        sim, a, _ = make_pair()
+        fired = []
+        a.set_timer(0.5, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [0.5]
+
+    def test_timer_suppressed_after_crash(self):
+        sim, a, _ = make_pair()
+        fired = []
+        a.set_timer(0.5, lambda: fired.append(1))
+        sim.at(0.2, a.crash)
+        sim.run()
+        assert fired == []
+
+    def test_timer_list_pruned(self):
+        sim, a, _ = make_pair()
+        for _ in range(200):
+            a.set_timer(0.001, lambda: None)
+        sim.run()
+        # Pruning happens on insertion: the next set_timer sweeps the 200
+        # fired (inactive) handles out of the bookkeeping list.
+        a.set_timer(0.001, lambda: None)
+        assert len(a._timers) <= 65
+
+
+class TestLifecycle:
+    def test_on_start_called_once(self):
+        sim, a, _ = make_pair()
+        sim.run()
+        assert a.started == 1
+
+    def test_late_registration_starts_via_event(self):
+        sim, a, _ = make_pair()
+        sim.run(until=1.0)
+        late = Echo(sim, node_id("late"))
+        assert late.started == 0
+        sim.at(1.5, lambda: None)
+        sim.run(until=2.0)
+        assert late.started == 1
+
+    def test_crash_restart_cycle(self):
+        sim, a, b = make_pair()
+        a.stable["disk"] = 42
+        a.crash()
+        assert a.crashed and a.crashes == 1
+        a.restart()
+        assert not a.crashed and a.restarts == 1
+        assert a.stable["disk"] == 42
+
+    def test_double_crash_is_idempotent(self):
+        sim, a, _ = make_pair()
+        a.crash()
+        a.crash()
+        assert a.crashes == 1
+
+    def test_restart_without_crash_is_noop(self):
+        sim, a, _ = make_pair()
+        a.restart()
+        assert a.restarts == 0
+
+    def test_trace_emission(self):
+        sim, a, _ = make_pair()
+        a.trace("custom", foo=1)
+        records = list(sim.trace.records(category="custom"))
+        assert len(records) == 1
+        assert records[0].detail["foo"] == 1

@@ -1,0 +1,67 @@
+"""Determinism tests for the seeded RNG tree."""
+
+from hypothesis import given, strategies as st
+
+from repro.sim.rng import SeededRng
+
+
+class TestSeededRng:
+    def test_same_seed_same_stream(self):
+        a = SeededRng(42)
+        b = SeededRng(42)
+        assert [a.random() for _ in range(20)] == [b.random() for _ in range(20)]
+
+    def test_fork_is_deterministic_across_instances(self):
+        a = SeededRng(42).fork("network")
+        b = SeededRng(42).fork("network")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_fork_independent_of_parent_consumption(self):
+        parent_a = SeededRng(42)
+        parent_b = SeededRng(42)
+        parent_b.random()  # consume from one parent only
+        child_a = parent_a.fork("x")
+        child_b = parent_b.fork("x")
+        assert child_a.random() == child_b.random()
+
+    def test_different_fork_names_differ(self):
+        parent = SeededRng(42)
+        a = parent.fork("a")
+        b = parent.fork("b")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_uniform_bounds(self):
+        rng = SeededRng(7)
+        for _ in range(100):
+            value = rng.uniform(1.0, 2.0)
+            assert 1.0 <= value <= 2.0
+
+    def test_randint_bounds(self):
+        rng = SeededRng(7)
+        values = {rng.randint(0, 3) for _ in range(200)}
+        assert values == {0, 1, 2, 3}
+
+    @given(st.integers(min_value=1, max_value=200))
+    def test_zipf_index_in_range(self, n):
+        rng = SeededRng(1)
+        for _ in range(20):
+            assert 0 <= rng.zipf_index(n, 1.1) < n
+
+    def test_zipf_skews_toward_low_indices(self):
+        rng = SeededRng(3)
+        draws = [rng.zipf_index(100, 1.5) for _ in range(2000)]
+        low = sum(1 for d in draws if d < 10)
+        assert low > len(draws) * 0.5
+
+    def test_choice_and_shuffle_deterministic(self):
+        a, b = SeededRng(9), SeededRng(9)
+        items = list(range(10))
+        items_b = list(range(10))
+        a.shuffle(items)
+        b.shuffle(items_b)
+        assert items == items_b
+        assert a.choice(items) == b.choice(items_b)
+
+    def test_expovariate_positive(self):
+        rng = SeededRng(5)
+        assert all(rng.expovariate(10.0) > 0 for _ in range(50))

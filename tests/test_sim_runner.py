@@ -1,0 +1,119 @@
+"""Tests for the simulation kernel: clock, run loops, determinism."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.network import LatencyModel
+from repro.sim.node import Process
+from repro.sim.runner import Simulator
+from repro.types import node_id
+
+
+class TestScheduling:
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator(seed=1)
+        times = []
+        sim.schedule(1.0, lambda: times.append(sim.now))
+        sim.schedule(2.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [1.0, 2.5]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator(seed=1)
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_at_absolute_time(self):
+        sim = Simulator(seed=1)
+        fired = []
+        sim.at(3.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [3.0]
+
+    def test_at_in_past_rejected(self):
+        sim = Simulator(seed=1)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.at(0.5, lambda: None)
+
+    def test_run_until_time_bound(self):
+        sim = Simulator(seed=1)
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(5.0, lambda: fired.append(5))
+        sim.run(until=2.0)
+        assert fired == [1]
+        assert sim.now == 2.0
+
+    def test_run_max_events(self):
+        sim = Simulator(seed=1)
+        fired = []
+        for i in range(10):
+            sim.schedule(float(i), lambda i=i: fired.append(i))
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_run_until_predicate(self):
+        sim = Simulator(seed=1)
+        counter = []
+        for i in range(10):
+            sim.schedule(float(i), lambda: counter.append(1))
+        done = sim.run_until(lambda: len(counter) >= 4, timeout=100.0)
+        assert done and len(counter) == 4
+
+    def test_run_until_timeout(self):
+        sim = Simulator(seed=1)
+        done = sim.run_until(lambda: False, timeout=5.0)
+        assert not done
+        assert sim.now == 5.0
+
+
+class _Pinger(Process):
+    """Two processes bouncing a counter; a deterministic traffic source."""
+
+    def __init__(self, sim, node, peer, rounds):
+        super().__init__(sim, node)
+        self.peer = node_id(peer)
+        self.rounds = rounds
+        self.log = []
+
+    def on_start(self):
+        if self.node == "a":
+            self.send(self.peer, 0)
+
+    def on_message(self, payload, sender):
+        self.log.append((round(self.now, 9), payload))
+        if payload < self.rounds:
+            self.send(self.peer, payload + 1)
+
+
+class TestDeterminism:
+    def _run(self, seed):
+        sim = Simulator(seed=seed, latency=LatencyModel(drop_probability=0.1))
+        a = _Pinger(sim, node_id("a"), "b", 50)
+        b = _Pinger(sim, node_id("b"), "a", 50)
+        sim.run()
+        return (a.log, b.log, sim.now, sim.events_executed)
+
+    def test_same_seed_identical_run(self):
+        assert self._run(42) == self._run(42)
+
+    def test_different_seed_differs(self):
+        assert self._run(42) != self._run(43)
+
+
+class TestProcessRegistry:
+    def test_duplicate_process_rejected(self):
+        sim = Simulator(seed=1)
+        _Pinger(sim, node_id("a"), "b", 1)
+        with pytest.raises(SimulationError):
+            _Pinger(sim, node_id("a"), "b", 1)
+
+    def test_lookup_and_remove(self):
+        sim = Simulator(seed=1)
+        p = _Pinger(sim, node_id("a"), "b", 1)
+        assert sim.process(node_id("a")) is p
+        sim.remove_process(node_id("a"))
+        assert sim.process(node_id("a")) is None
+        assert not sim.network.knows(node_id("a"))

@@ -1,0 +1,84 @@
+"""The skipped-epoch corner: a member of C_{e+1} and C_{e+3} but not C_{e+2}.
+
+Such a replica starts a boundary transfer for e+1, gets dropped in e+2,
+and re-added in e+3 — its e+1 transfer may be abandoned mid-flight and its
+execution frontier can no longer be satisfied locally. The fix under test:
+a completed boundary transfer for a *later* epoch subsumes all earlier
+history, so the replica jumps its frontier to the adopted boundary.
+"""
+
+from repro.apps.kvstore import KvStateMachine
+from repro.core.client import ClientParams
+from repro.core.service import ReplicatedService
+from repro.sim.runner import Simulator
+from repro.types import node_id
+from repro.verify.histories import History
+from repro.verify.invariants import run_all_invariants
+from repro.verify.linearizability import check_kv_linearizable
+
+
+def kv_client(sim, service, n_ops=120, timeout=0.3):
+    budget = [n_ops]
+    rng = sim.rng.fork("skip-client")
+
+    def ops():
+        if budget[0] <= 0:
+            return None
+        budget[0] -= 1
+        key = f"k{rng.randint(0, 4)}"
+        if rng.random() < 0.5:
+            return ("get", (key,), 32)
+        return ("set", (key, budget[0]), 64)
+
+    return service.make_client(
+        "c1", ops, ClientParams(start_delay=0.2, request_timeout=timeout)
+    )
+
+
+class TestSkippedEpochMember:
+    def test_in_out_in_member_recovers_and_serves(self):
+        sim = Simulator(seed=901)
+
+        def app():
+            kv = KvStateMachine()
+            kv.preload(30_000)
+            return kv
+
+        # Slow transfers so the bouncing node's first transfer is still in
+        # flight when it gets dropped and re-added.
+        sim.network.latency.bandwidth = 3_000_000.0
+        service = ReplicatedService(sim, ["n1", "n2", "n3"], app)
+        client = kv_client(sim, service, n_ops=120, timeout=0.4)
+        # n9 joins at epoch 1, is dropped at epoch 2, re-added at epoch 3.
+        service.reconfigure_at(0.40, ["n1", "n2", "n9"])
+        service.reconfigure_at(0.55, ["n1", "n2", "n3"])
+        service.reconfigure_at(0.70, ["n1", "n2", "n9"])
+        done = sim.run_until(lambda: client.finished, timeout=60.0)
+        assert done
+        sim.run(until=sim.now + 4.0)
+
+        bouncer = service.replicas[node_id("n9")]
+        # The bouncer must end up executing (not stalled forever): its
+        # frontier reached epoch 3 and its state matches the survivors'.
+        survivor = service.replicas[node_id("n1")]
+        assert bouncer.exec_epoch >= 3
+        assert bouncer.state is not None
+        assert bouncer.virtual_index == survivor.virtual_index
+        assert bouncer.state.snapshot() == survivor.state.snapshot()
+
+        history = History.from_clients([client])
+        assert check_kv_linearizable(history).ok
+        run_all_invariants(service.replicas.values())
+
+    def test_bouncer_serves_clients_after_rejoin(self):
+        sim = Simulator(seed=902)
+        service = ReplicatedService(sim, ["n1", "n2", "n3"], KvStateMachine)
+        client = kv_client(sim, service, n_ops=80)
+        service.reconfigure_at(0.40, ["n1", "n2", "n9"])
+        service.reconfigure_at(0.55, ["n1", "n2", "n3"])
+        service.reconfigure_at(0.70, ["n2", "n3", "n9"])
+        done = sim.run_until(lambda: client.finished, timeout=60.0)
+        assert done
+        sim.run(until=sim.now + 2.0)
+        run_all_invariants(service.replicas.values())
+        assert check_kv_linearizable(History.from_clients([client])).ok

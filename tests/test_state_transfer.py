@@ -1,0 +1,142 @@
+"""Tests for boundary-state transfer, including the chunked/resumable mode."""
+
+from repro.apps.kvstore import KvStateMachine
+from repro.consensus.multipaxos import MultiPaxosEngine
+from repro.core.client import ClientParams
+from repro.core.reconfig import ReconfigParams
+from repro.core.service import ReplicatedService
+from repro.core.state_transfer import TransferTask
+from repro.sim.network import LatencyModel
+from repro.sim.runner import Simulator
+from repro.types import node_id
+
+
+def chunked_params(chunk_bytes):
+    return ReconfigParams(
+        engine_factory=MultiPaxosEngine.factory(),
+        transfer_chunk_bytes=chunk_bytes,
+    )
+
+
+def make_service(sim, params=None, preload=5000):
+    def app():
+        kv = KvStateMachine()
+        kv.preload(preload)
+        return kv
+
+    return ReplicatedService(sim, ["n1", "n2", "n3"], app, params=params)
+
+
+def drive_join(sim, service, budget_ops=40):
+    budget = [budget_ops]
+
+    def ops():
+        if budget[0] <= 0:
+            return None
+        budget[0] -= 1
+        return ("set", (f"k{budget[0] % 5}", budget[0]), 64)
+
+    client = service.make_client("c1", ops, ClientParams(start_delay=0.2))
+    service.reconfigure_at(0.4, ["n1", "n2", "n4"])
+    done = sim.run_until(lambda: client.finished, timeout=30.0)
+    sim.run(until=sim.now + 2.0)
+    return client, done
+
+
+class TestTransferTask:
+    def test_round_robin_sources(self):
+        task = TransferTask(epoch=1, sources=[node_id("a"), node_id("b")])
+        assert [task.pick_source() for _ in range(4)] == ["a", "b", "a", "b"]
+        assert task.attempts == 4
+
+
+class TestSingleShotTransfer:
+    def test_joiner_gets_state(self):
+        sim = Simulator(seed=31)
+        service = make_service(sim)
+        client, done = drive_join(sim, service)
+        assert done
+        joiner = service.replicas[node_id("n4")]
+        assert joiner.epoch_runtime(1).start_state_ready
+        assert len(joiner.state.inner) >= 5000
+
+    def test_transfer_bytes_hit_the_wire(self):
+        sim = Simulator(seed=32)
+        service = make_service(sim, preload=10_000)
+        drive_join(sim, service)
+        by_type = sim.network.stats.bytes_by_type
+        assert by_type.get("SnapshotReply", 0) > 10_000 * 80
+
+
+class TestChunkedTransfer:
+    def test_chunked_join_completes(self):
+        sim = Simulator(seed=33)
+        service = make_service(sim, params=chunked_params(64_000))
+        client, done = drive_join(sim, service)
+        assert done
+        joiner = service.replicas[node_id("n4")]
+        assert joiner.epoch_runtime(1).start_state_ready
+        assert joiner._transfer.total_chunks > 1
+        assert len(joiner.state.inner) >= 5000
+
+    def test_chunk_count_matches_snapshot_size(self):
+        sim = Simulator(seed=34)
+        chunk = 50_000
+        service = make_service(sim, params=chunked_params(chunk), preload=10_000)
+        drive_join(sim, service)
+        joiner = service.replicas[node_id("n4")]
+        expected_size = 16 + 88 * 10_000 + 32 * 1  # kv + dedup table entry
+        expected_chunks = -(-expected_size // chunk)
+        assert abs(joiner._transfer.total_chunks - expected_chunks) <= 1
+
+    def test_chunked_matches_single_shot_result(self):
+        results = {}
+        for label, params in (
+            ("single", None),
+            ("chunked", chunked_params(40_000)),
+        ):
+            sim = Simulator(seed=35)
+            service = make_service(sim, params=params)
+            drive_join(sim, service)
+            joiner = service.replicas[node_id("n4")]
+            results[label] = joiner.state.snapshot()
+        assert results["single"] == results["chunked"]
+
+    def test_resumes_across_source_crash(self):
+        sim = Simulator(seed=36)
+        # Slow the pipe so the transfer is in flight when the source dies.
+        sim.network.latency.bandwidth = 2_000_000.0
+        service = make_service(sim, params=chunked_params(30_000), preload=20_000)
+        budget = [30]
+
+        def ops():
+            if budget[0] <= 0:
+                return None
+            budget[0] -= 1
+            return ("set", (f"k{budget[0] % 5}", budget[0]), 64)
+
+        client = service.make_client("c1", ops, ClientParams(start_delay=0.2))
+        service.reconfigure_at(0.4, ["n1", "n2", "n4"])
+
+        # Crash a member mid-transfer; chunks resume from the others.
+        sim.at(0.6, service.replicas[node_id("n3")].crash)
+        done = sim.run_until(lambda: client.finished, timeout=40.0)
+        assert done
+        sim.run(until=sim.now + 3.0)
+        joiner = service.replicas[node_id("n4")]
+        assert joiner.epoch_runtime(1).start_state_ready
+        # Resumption, not restart: progress is monotonic in chunk index.
+        assert joiner._transfer.next_chunk == joiner._transfer.total_chunks
+
+    def test_chunked_survives_lossy_network(self):
+        sim = Simulator(seed=37, latency=LatencyModel(drop_probability=0.08))
+        service = make_service(sim, params=chunked_params(50_000), preload=8_000)
+        client, done = drive_join(sim, service)
+        assert done
+        joiner = service.replicas[node_id("n4")]
+        sim.run_until(
+            lambda: joiner.epoch_runtime(1) is not None
+            and joiner.epoch_runtime(1).start_state_ready,
+            timeout=30.0,
+        )
+        assert joiner.epoch_runtime(1).start_state_ready

@@ -1,0 +1,175 @@
+"""Single-decree Paxos: unit tests and an adversarial-schedule property.
+
+The property test is the crown jewel: run several proposers against one
+acceptor set with Hypothesis choosing an arbitrary interleaving and drops
+of the message deliveries; every value chosen must be the same value.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.consensus.synod import (
+    SynodAccept,
+    SynodAcceptor,
+    SynodAccepted,
+    SynodNack,
+    SynodPrepare,
+    SynodPromise,
+    SynodProposer,
+)
+from repro.types import node_id
+
+
+def wire(acceptors, chosen):
+    """Create a direct-call message fabric collecting choices."""
+
+    deliveries = []
+
+    def send_factory(proposer):
+        def send(dest, message):
+            deliveries.append((proposer, dest, message))
+
+        return send
+
+    return deliveries, send_factory
+
+
+class TestAcceptor:
+    def test_promises_higher_ballot(self):
+        acceptor = SynodAcceptor(node_id("a1"))
+        from repro.consensus.ballot import Ballot
+
+        reply = acceptor.on_prepare(SynodPrepare(Ballot(1, node_id("p"))))
+        assert isinstance(reply, SynodPromise)
+
+    def test_rejects_lower_ballot(self):
+        from repro.consensus.ballot import Ballot
+
+        acceptor = SynodAcceptor(node_id("a1"))
+        acceptor.on_prepare(SynodPrepare(Ballot(5, node_id("p"))))
+        reply = acceptor.on_prepare(SynodPrepare(Ballot(3, node_id("q"))))
+        assert isinstance(reply, SynodNack)
+        assert reply.promised == Ballot(5, node_id("p"))
+
+    def test_accept_requires_promise_not_violated(self):
+        from repro.consensus.ballot import Ballot
+
+        acceptor = SynodAcceptor(node_id("a1"))
+        acceptor.on_prepare(SynodPrepare(Ballot(5, node_id("p"))))
+        reply = acceptor.on_accept(SynodAccept(Ballot(3, node_id("q")), "v"))
+        assert isinstance(reply, SynodNack)
+        ok = acceptor.on_accept(SynodAccept(Ballot(5, node_id("p")), "v"))
+        assert isinstance(ok, SynodAccepted)
+        assert acceptor.accepted_value == "v"
+
+    def test_promise_reports_accepted_value(self):
+        from repro.consensus.ballot import Ballot
+
+        acceptor = SynodAcceptor(node_id("a1"))
+        acceptor.on_accept(SynodAccept(Ballot(2, node_id("p")), "old"))
+        reply = acceptor.on_prepare(SynodPrepare(Ballot(9, node_id("q"))))
+        assert isinstance(reply, SynodPromise)
+        assert reply.accepted_value == "old"
+        assert reply.accepted_ballot == Ballot(2, node_id("p"))
+
+
+def run_synod_schedule(schedule: list[int], drops: list[bool], values=("A", "B", "C")):
+    """Drive 3 proposers / 3 acceptors with an adversarial interleaving.
+
+    ``schedule`` picks which pending delivery fires next; ``drops`` decides
+    whether it is dropped instead. Returns the set of chosen values.
+    """
+    acceptor_ids = [node_id(f"a{i}") for i in range(3)]
+    acceptors = {a: SynodAcceptor(a) for a in acceptor_ids}
+    chosen: list[tuple[str, object]] = []
+    queue: list[tuple[str, object, object]] = []  # (kind, target, message)
+
+    proposers = {}
+    for i, value in enumerate(values):
+        name = node_id(f"p{i}")
+
+        def send(dest, message, name=name):
+            queue.append(("to_acceptor", (name, dest), message))
+
+        proposers[name] = SynodProposer(
+            name,
+            acceptor_ids,
+            send,
+            lambda v, name=name: chosen.append((name, v)),
+        )
+
+    for round_offset, (name, proposer) in enumerate(proposers.items()):
+        proposer.start(round_offset + 1, values[round_offset])
+
+    drop_iter = iter(drops)
+    step_iter = iter(schedule)
+    for _ in range(4000):
+        if not queue:
+            break
+        try:
+            index = next(step_iter) % len(queue)
+        except StopIteration:
+            index = 0
+        kind, route, message = queue.pop(index)
+        try:
+            dropped = next(drop_iter)
+        except StopIteration:
+            dropped = False
+        if dropped:
+            continue
+        if kind == "to_acceptor":
+            proposer_name, acceptor_name = route
+            acceptor = acceptors[acceptor_name]
+            if isinstance(message, SynodPrepare):
+                reply = acceptor.on_prepare(message)
+            else:
+                reply = acceptor.on_accept(message)
+            queue.append(("to_proposer", (acceptor_name, proposer_name), reply))
+        else:
+            acceptor_name, proposer_name = route
+            proposer = proposers[proposer_name]
+            if isinstance(message, SynodPromise):
+                proposer.on_promise(acceptor_name, message)
+            elif isinstance(message, SynodAccepted):
+                proposer.on_accepted(acceptor_name, message)
+            elif isinstance(message, SynodNack):
+                proposer.on_nack(acceptor_name, message)
+    return {v for _, v in chosen}
+
+
+class TestSynodSafety:
+    def test_single_proposer_chooses_its_value(self):
+        chosen = run_synod_schedule(schedule=[0] * 100, drops=[], values=("A",))
+        assert chosen == {"A"}
+
+    def test_competing_proposers_agree(self):
+        chosen = run_synod_schedule(schedule=list(range(100)), drops=[])
+        assert len(chosen) <= 1
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        schedule=st.lists(st.integers(min_value=0, max_value=10_000), max_size=300),
+        drops=st.lists(st.booleans(), max_size=300),
+    )
+    def test_agreement_under_adversarial_schedules(self, schedule, drops):
+        chosen = run_synod_schedule(schedule, drops)
+        assert len(chosen) <= 1, f"two different values chosen: {chosen}"
+
+    def test_preemption_reported(self):
+        from repro.consensus.ballot import Ballot
+
+        acceptors = [SynodAcceptor(node_id(f"a{i}")) for i in range(3)]
+        sent = []
+        proposer = SynodProposer(
+            node_id("p"),
+            [a.node for a in acceptors],
+            lambda d, m: sent.append((d, m)),
+            lambda v: None,
+        )
+        proposer.start(1, "v")
+        # Someone else grabbed a higher ballot at every acceptor.
+        for acceptor in acceptors:
+            acceptor.on_prepare(SynodPrepare(Ballot(10, node_id("q"))))
+        nack = acceptors[0].on_prepare(SynodPrepare(Ballot(1, node_id("p"))))
+        proposer.on_nack(acceptors[0].node, nack)
+        assert proposer.phase == "preempted"
+        assert proposer.preempted_by == Ballot(10, node_id("q"))

@@ -1,0 +1,81 @@
+"""Property tests over the chunked-transfer arithmetic and determinism."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.kvstore import KvStateMachine
+from repro.consensus.multipaxos import MultiPaxosEngine
+from repro.core.reconfig import ReconfigParams
+from repro.core.service import ReplicatedService
+from repro.core.client import ClientParams
+from repro.sim.runner import Simulator
+from repro.types import node_id
+
+
+def run_chunked_join(chunk_bytes: int, preload: int, seed: int = 931):
+    sim = Simulator(seed=seed)
+
+    def app():
+        kv = KvStateMachine()
+        kv.preload(preload)
+        return kv
+
+    service = ReplicatedService(
+        sim,
+        ["n1", "n2", "n3"],
+        app,
+        params=ReconfigParams(
+            engine_factory=MultiPaxosEngine.factory(),
+            transfer_chunk_bytes=chunk_bytes,
+        ),
+    )
+    budget = [15]
+
+    def ops():
+        if budget[0] <= 0:
+            return None
+        budget[0] -= 1
+        return ("set", (f"k{budget[0]}", budget[0]), 48)
+
+    client = service.make_client("c1", ops, ClientParams(start_delay=0.2))
+    service.reconfigure_at(0.4, ["n1", "n2", "n4"])
+    sim.run_until(lambda: client.finished, timeout=30.0)
+    if sim.now < 0.45:  # the reconfigure event may not have fired yet
+        sim.run(until=0.45)
+    joiner = service.replicas[node_id("n4")]
+    sim.run_until(
+        lambda: joiner.epoch_runtime(1) is not None
+        and joiner.epoch_runtime(1).start_state_ready,
+        timeout=30.0,
+    )
+    return sim, service, joiner
+
+
+class TestChunkArithmetic:
+    @settings(max_examples=10, deadline=None)
+    @given(chunk_bytes=st.integers(min_value=1_000, max_value=500_000))
+    def test_any_chunk_size_completes_and_matches(self, chunk_bytes):
+        sim, service, joiner = run_chunked_join(chunk_bytes, preload=2_000)
+        assert joiner.epoch_runtime(1).start_state_ready
+        survivor = service.replicas[node_id("n1")]
+        sim.run(until=sim.now + 1.0)
+        assert joiner.state.snapshot() == survivor.state.snapshot()
+        task = joiner._transfer
+        # Chunk count consistent with the snapshot size and chunk size.
+        expected_size = survivor.boundary_snapshots[1][1]
+        expected_chunks = max(1, -(-expected_size // chunk_bytes))
+        assert task.total_chunks == expected_chunks
+        assert task.next_chunk == task.total_chunks
+
+    def test_chunk_size_larger_than_snapshot_is_single_chunk(self):
+        sim, service, joiner = run_chunked_join(10_000_000, preload=500)
+        assert joiner._transfer.total_chunks == 1
+
+    def test_transfer_wire_bytes_track_snapshot_size(self):
+        sim, service, joiner = run_chunked_join(50_000, preload=5_000)
+        stats = sim.network.stats
+        chunk_bytes = stats.bytes_by_type.get("SnapshotChunkReply", 0)
+        snapshot_size = service.replicas[node_id("n1")].boundary_snapshots[1][1]
+        # All chunks together carry (at least) the snapshot, and not
+        # wildly more (retries/overhead allowance of 2x).
+        assert chunk_bytes >= snapshot_size
+        assert chunk_bytes < snapshot_size * 2 + 50_000

@@ -1,0 +1,80 @@
+"""Unit tests for shared primitive types."""
+
+import pytest
+
+from repro.types import (
+    Command,
+    CommandId,
+    Configuration,
+    Membership,
+    VirtualLogPosition,
+    client_id,
+    node_id,
+)
+
+
+class TestMembership:
+    def test_of_builds_frozen_set(self):
+        members = Membership.of("n1", "n2", "n3")
+        assert len(members) == 3
+        assert node_id("n2") in members
+
+    def test_from_iter_coerces_strings(self):
+        members = Membership.from_iter(["a", "b"])
+        assert node_id("a") in members
+
+    def test_iteration_is_sorted(self):
+        members = Membership.of("n3", "n1", "n2")
+        assert list(members) == ["n1", "n2", "n3"]
+
+    @pytest.mark.parametrize(
+        "size,quorum", [(1, 1), (2, 2), (3, 2), (4, 3), (5, 3), (7, 4), (9, 5)]
+    )
+    def test_quorum_size_is_majority(self, size, quorum):
+        members = Membership.from_iter(f"n{i}" for i in range(size))
+        assert members.quorum_size == quorum
+
+    def test_with_added_returns_new_membership(self):
+        base = Membership.of("n1")
+        grown = base.with_added(node_id("n2"))
+        assert len(base) == 1
+        assert len(grown) == 2
+
+    def test_with_removed(self):
+        base = Membership.of("n1", "n2")
+        shrunk = base.with_removed(node_id("n1"))
+        assert list(shrunk) == ["n2"]
+
+    def test_equality_ignores_order(self):
+        assert Membership.of("a", "b") == Membership.of("b", "a")
+
+    def test_str_is_sorted(self):
+        assert str(Membership.of("n2", "n1")) == "{n1,n2}"
+
+
+class TestCommandId:
+    def test_identity_is_value_based(self):
+        a = CommandId(client_id("c1"), 5)
+        b = CommandId(client_id("c1"), 5)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_distinct_seq_distinct_identity(self):
+        a = CommandId(client_id("c1"), 5)
+        b = CommandId(client_id("c1"), 6)
+        assert a != b
+
+    def test_command_is_hashable(self):
+        command = Command(CommandId(client_id("c"), 1), "set", ("k", 1))
+        assert command in {command}
+
+
+class TestVirtualLogPosition:
+    def test_orders_by_epoch_then_slot(self):
+        assert VirtualLogPosition(0, 10) < VirtualLogPosition(1, 0)
+        assert VirtualLogPosition(1, 2) < VirtualLogPosition(1, 3)
+        assert VirtualLogPosition(2, 0) <= VirtualLogPosition(2, 0)
+
+    def test_configuration_str(self):
+        config = Configuration(3, Membership.of("n1"))
+        assert "C3" in str(config)

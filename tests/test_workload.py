@@ -1,0 +1,129 @@
+"""Tests for workload generators and reconfiguration schedules."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import SeededRng
+from repro.workload.generators import KvOperationMix, counter_increments
+from repro.workload.schedules import (
+    full_replacement,
+    migration_storm,
+    rolling_replacement,
+    scale_membership,
+    storm,
+)
+
+
+class TestKvOperationMix:
+    def test_budget_exhausts(self):
+        mix = KvOperationMix(SeededRng(1), read_ratio=0.5)
+        source = mix.source("c0", budget=5)
+        ops = [source() for _ in range(6)]
+        assert all(op is not None for op in ops[:5])
+        assert ops[5] is None
+
+    def test_unbounded_source_never_stops(self):
+        mix = KvOperationMix(SeededRng(1))
+        source = mix.source("c0", budget=None)
+        assert all(source() is not None for _ in range(100))
+
+    def test_read_ratio_zero_is_all_writes(self):
+        mix = KvOperationMix(SeededRng(1), read_ratio=0.0)
+        source = mix.source("c0", budget=50)
+        assert all(source()[0] in ("set", "cas") for _ in range(50))
+
+    def test_read_ratio_one_is_all_reads(self):
+        mix = KvOperationMix(SeededRng(1), read_ratio=1.0)
+        source = mix.source("c0", budget=50)
+        assert all(source()[0] == "get" for _ in range(50))
+
+    def test_cas_ratio_produces_cas(self):
+        mix = KvOperationMix(SeededRng(1), read_ratio=0.0, cas_ratio=1.0)
+        source = mix.source("c0", budget=20)
+        assert all(source()[0] == "cas" for _ in range(20))
+
+    def test_keys_within_keyspace(self):
+        mix = KvOperationMix(SeededRng(1), keyspace=4, read_ratio=1.0)
+        source = mix.source("c0", budget=100)
+        keys = {source()[1][0] for _ in range(100)}
+        assert keys <= {f"k{i}" for i in range(4)}
+
+    def test_zipf_mix_skews_keys(self):
+        mix = KvOperationMix(SeededRng(1), keyspace=50, read_ratio=1.0, zipf_skew=1.5)
+        source = mix.source("c0", budget=None)
+        keys = [source()[1][0] for _ in range(500)]
+        assert keys.count("k0") > 50
+
+    def test_sources_are_independent_streams(self):
+        mix = KvOperationMix(SeededRng(1), read_ratio=0.5)
+        a = mix.source("a", budget=None)
+        b = mix.source("b", budget=None)
+        assert [a() for _ in range(20)] != [b() for _ in range(20)]
+
+    def test_invalid_ratios_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KvOperationMix(SeededRng(1), read_ratio=1.5)
+        with pytest.raises(ConfigurationError):
+            KvOperationMix(SeededRng(1), keyspace=0)
+
+    def test_counter_increments_budget(self):
+        source = counter_increments("c", 3)
+        assert [source() for _ in range(4)] == [
+            ("incr", ("c", 1), 32),
+            ("incr", ("c", 1), 32),
+            ("incr", ("c", 1), 32),
+            None,
+        ]
+
+
+class TestSchedules:
+    def test_rolling_replacement_keeps_size(self):
+        steps = rolling_replacement(["n1", "n2", "n3"], 1.0, 0.5, 3, first_fresh=4)
+        assert len(steps) == 3
+        assert steps[0].time == 1.0 and steps[2].time == 2.0
+        for step in steps:
+            assert len(step.members) == 3
+        assert steps[-1].members == ("n4", "n5", "n6")
+
+    def test_full_replacement(self):
+        steps = full_replacement(["n1", "n2", "n3"], at=2.0, first_fresh=10)
+        assert steps == [steps[0]]
+        assert steps[0].members == ("n10", "n11", "n12")
+
+    def test_scale_up(self):
+        steps = scale_membership(["n1", "n2", "n3"], 1.0, target_size=5, first_fresh=4)
+        assert set(steps[0].members) == {"n1", "n2", "n3", "n4", "n5"}
+
+    def test_scale_down(self):
+        steps = scale_membership(["n1", "n2", "n3", "n4", "n5"], 1.0, 3, first_fresh=6)
+        assert steps[0].members == ("n1", "n2", "n3")
+
+    def test_storm_interval_spacing(self):
+        steps = storm(["n1", "n2", "n3"], 1.0, 0.25, 4, first_fresh=4)
+        times = [s.time for s in steps]
+        assert times == [1.0, 1.25, 1.5, 1.75]
+
+    def test_migration_storm_replaces_majority(self):
+        steps = migration_storm(["n1", "n2", "n3"], 1.0, 0.5, 3, first_fresh=4, keep=1)
+        assert len(steps) == 3
+        for step in steps:
+            assert len(step.members) == 3
+        # Round 1 keeps the last member, brings two fresh nodes.
+        assert set(steps[0].members) == {"n3", "n4", "n5"}
+        # Round 2 keeps a newcomer from round 1.
+        assert set(steps[1].members) == {"n5", "n6", "n7"}
+
+    def test_migration_storm_keep_zero_is_full_replacement(self):
+        steps = migration_storm(["n1", "n2"], 1.0, 0.5, 2, first_fresh=3, keep=0)
+        assert set(steps[0].members) == {"n3", "n4"}
+        assert set(steps[1].members) == {"n5", "n6"}
+
+    def test_migration_storm_invalid_keep(self):
+        with pytest.raises(ConfigurationError):
+            migration_storm(["n1", "n2"], 1.0, 0.5, 1, first_fresh=3, keep=2)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            rolling_replacement(["n1"], 0.0, 1.0, 0, first_fresh=2)
+        with pytest.raises(ConfigurationError):
+            scale_membership(["n1"], 0.0, 0, first_fresh=2)
