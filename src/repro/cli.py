@@ -6,6 +6,8 @@ Usage::
     python -m repro run T2               # regenerate one table/figure
     python -m repro run F2 --quick       # smaller parameters, faster
     python -m repro demo                 # 30-second guided tour
+    python -m repro cluster --replicas 3 # live TCP cluster on localhost
+    python -m repro serve --node n1 ...  # one live replica (used by cluster)
 
 The heavy lifting lives in :mod:`repro.bench.experiments`; this module is
 argument parsing plus a curated "quick" parameter set per experiment so a
@@ -108,6 +110,130 @@ def _cmd_demo() -> int:
     return 0
 
 
+#: application registry for the live commands (name -> factory).
+def _app_factory(name: str):
+    from repro.apps.bank import BankStateMachine
+    from repro.apps.counter import CounterStateMachine
+    from repro.apps.kvstore import KvStateMachine
+    from repro.apps.lockservice import LockServiceStateMachine
+
+    apps = {
+        "kv": KvStateMachine,
+        "counter": CounterStateMachine,
+        "bank": BankStateMachine,
+        "lock": LockServiceStateMachine,
+    }
+    factory = apps.get(name)
+    if factory is None:
+        raise SystemExit(f"unknown app {name!r}; choose from {sorted(apps)}")
+    return factory
+
+
+def _parse_peers(spec: str) -> dict[str, tuple[str, int]]:
+    """Parse ``n1=127.0.0.1:9101,n2=...`` into an address book."""
+    book: dict[str, tuple[str, int]] = {}
+    for entry in spec.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        try:
+            name, address = entry.split("=", 1)
+            host, port = address.rsplit(":", 1)
+            book[name] = (host, int(port))
+        except ValueError:
+            raise SystemExit(f"bad --peers entry {entry!r} (want name=host:port)")
+    if not book:
+        raise SystemExit("--peers must name at least one replica")
+    return book
+
+
+def _cmd_serve(args: "argparse.Namespace") -> int:
+    """Run one live replica process until SIGINT/SIGTERM."""
+    from repro.consensus.multipaxos import MultiPaxosEngine
+    from repro.core.reconfig import ReconfigParams, ReconfigurableReplica
+    from repro.net.runtime import LiveRuntime
+    from repro.net.transport import TcpTransport
+    from repro.types import Configuration, Membership, NodeId
+
+    addresses = _parse_peers(args.peers)
+    if args.node not in addresses:
+        raise SystemExit(f"--node {args.node!r} is not in --peers")
+    host, port = addresses[args.node]
+    if args.port is not None:
+        host, port = args.host, args.port
+
+    transport = TcpTransport(addresses)
+    runtime = LiveRuntime(transport, seed=args.seed, echo_trace=args.verbose)
+    params = ReconfigParams(engine_factory=MultiPaxosEngine.factory())
+    initial_config = None
+    if args.initial:
+        members = [m.strip() for m in args.initial.split(",") if m.strip()]
+        if args.node in members:
+            initial_config = Configuration(0, Membership.from_iter(members))
+    ReconfigurableReplica(
+        runtime,
+        NodeId(args.node),
+        _app_factory(args.app),
+        params,
+        initial_config=initial_config,
+    )
+    print(f"[{args.node}] serving on {host}:{port} "
+          f"(app={args.app}, member={'yes' if initial_config else 'standby'})",
+          flush=True)
+    runtime.run(host, port)
+    return 0
+
+
+def _cmd_cluster(args: "argparse.Namespace") -> int:
+    """Launch a live localhost cluster, run a workload, reconfigure, stop."""
+    from repro.net.client import LiveClient
+    from repro.net.cluster import LocalCluster
+
+    cluster = LocalCluster(
+        replicas=args.replicas,
+        base_port=args.base_port,
+        app=args.app,
+        seed=args.seed,
+        verbose=args.verbose,
+    )
+    print(f"starting {args.replicas} replicas: {', '.join(cluster.initial)} "
+          f"(logs in {cluster.log_dir})")
+    with cluster:
+        cluster.start()
+        client = LiveClient("cli", cluster.addresses, view=cluster.initial)
+        with client:
+            print(f"cluster up; submitting {args.ops} commands ...")
+            for i in range(args.ops):
+                reply = client.submit("set", (f"key-{i}", i))
+                if args.verbose:
+                    print(f"  set key-{i} -> ok "
+                          f"(epoch {reply.epoch}, slot {reply.virtual_index})")
+            check = client.submit("get", (f"key-{args.ops - 1}",), size=32)
+            if check.value != args.ops - 1:
+                print(f"FAIL: read back {check.value!r}, "
+                      f"expected {args.ops - 1}", file=sys.stderr)
+                return 1
+            print(f"{args.ops} writes committed; read-back verified "
+                  f"(epoch {check.epoch})")
+            if not args.no_reconfigure:
+                joiner = cluster.reserved()[0]
+                target = cluster.initial[1:] + [joiner]
+                print(f"reconfiguring {cluster.initial} -> {target} ...")
+                cluster.spawn(joiner)
+                cluster.wait_ready([joiner])
+                ack = client.reconfigure(target)
+                print(f"reconfiguration acknowledged: {ack.value} ")
+                after = client.submit("get", (f"key-{args.ops - 1}",), size=32)
+                if after.value != args.ops - 1:
+                    print(f"FAIL: post-reconfig read {after.value!r}",
+                          file=sys.stderr)
+                    return 1
+                print(f"state survived the hand-off "
+                      f"(read served in epoch {after.epoch})")
+    print("cluster shut down cleanly")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -122,6 +248,34 @@ def main(argv: list[str] | None = None) -> int:
     run.add_argument("--seed", type=int, default=None, help="override the seed")
     sub.add_parser("demo", help="a 30-second guided tour")
 
+    serve = sub.add_parser("serve", help="run one live replica over TCP")
+    serve.add_argument("--node", required=True, help="this replica's name")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=None,
+                       help="listen port (default: from --peers)")
+    serve.add_argument("--peers", required=True,
+                       help="address book: n1=host:port,n2=host:port,...")
+    serve.add_argument("--app", default="kv", help="kv|counter|bank|lock")
+    serve.add_argument("--initial", default="",
+                       help="comma-separated epoch-0 members (omit for standby)")
+    serve.add_argument("--seed", type=int, default=42)
+    serve.add_argument("--verbose", action="store_true",
+                       help="stream the trace log to stderr")
+
+    cluster = sub.add_parser(
+        "cluster", help="launch a live localhost cluster and drive it"
+    )
+    cluster.add_argument("--replicas", type=int, default=3)
+    cluster.add_argument("--base-port", type=int, default=None,
+                         help="first port (default: OS-assigned free ports)")
+    cluster.add_argument("--app", default="kv", help="kv|counter|bank|lock")
+    cluster.add_argument("--ops", type=int, default=20,
+                         help="commands to commit before reconfiguring")
+    cluster.add_argument("--no-reconfigure", action="store_true",
+                         help="skip the live membership change")
+    cluster.add_argument("--seed", type=int, default=42)
+    cluster.add_argument("--verbose", action="store_true")
+
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
@@ -129,6 +283,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args.experiment, args.quick, args.seed)
     if args.command == "demo":
         return _cmd_demo()
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "cluster":
+        return _cmd_cluster(args)
     parser.print_help()
     return 1
 

@@ -100,7 +100,7 @@ class Transport:
     def now(self) -> Time:
         return self._host.now
 
-    def send(self, dest: NodeId, inner: Any, size: int = 256) -> None:
+    def send(self, dest: NodeId, inner: Any, size: int | None = None) -> None:
         self._host.send(dest, InstanceMessage(self.instance_id, inner), size=size)
 
     def set_timer(self, delay: float, action: Callable[[], None], label: str = "") -> Timer:

@@ -17,9 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.core.runtime import Runtime
 from repro.sim.events import Timer
 from repro.sim.node import Process
-from repro.sim.runner import Simulator
 from repro.types import ClientId, Command, CommandId, Membership, NodeId, Time
 
 
@@ -81,7 +81,7 @@ class Client(Process):
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Runtime,
         client: ClientId,
         view: Membership,
         operations: OperationSource,

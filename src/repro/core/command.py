@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.types import CommandId, Membership
+from repro.types import CommandId, Membership, NodeId
 
 
 @dataclass(frozen=True, slots=True)
@@ -30,3 +30,21 @@ class ReconfigCommand:
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"Reconfig({self.cid}, ->{self.new_members})"
+
+
+@dataclass(frozen=True, slots=True)
+class ReconfigRequest:
+    """Admin client -> replica: propose this reconfiguration, then reply.
+
+    In simulation the admin plane calls
+    :meth:`repro.core.reconfig.ReconfigurableReplica.request_reconfiguration`
+    directly; over the live TCP transport the admin is a remote process, so
+    the same request travels as an ordinary message. The contacted replica
+    registers ``reply_to`` as the waiting client and answers with a
+    :class:`repro.core.client.ClientReply` once the reconfiguration commits
+    (the reply value names the new epoch), or with a ``Redirect`` if it has
+    already retired from the cluster.
+    """
+
+    command: ReconfigCommand
+    reply_to: NodeId

@@ -48,8 +48,9 @@ from repro.consensus.interface import (
     Transport,
 )
 from repro.core.client import ClientReply, ClientRequest, Redirect
-from repro.core.command import ReconfigCommand
+from repro.core.command import ReconfigCommand, ReconfigRequest
 from repro.core.epoch import EpochRuntime
+from repro.core.runtime import Runtime
 from repro.core.state_transfer import (
     SnapshotChunkReply,
     SnapshotChunkRequest,
@@ -61,7 +62,6 @@ from repro.core.state_transfer import (
 from repro.core.statemachine import DedupStateMachine, StateMachine
 from repro.errors import ProtocolError
 from repro.sim.node import Process
-from repro.sim.runner import Simulator
 from repro.types import (
     Command,
     CommandId,
@@ -173,7 +173,7 @@ class ReconfigurableReplica(Process):
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Runtime,
         node: NodeId,
         app_factory: Callable[[], StateMachine],
         params: ReconfigParams,
@@ -393,7 +393,7 @@ class ReconfigurableReplica(Process):
         announce = EpochAnnounce(config, prev_members)
         for member in config.members:
             if member != self.node:
-                self.send(member, announce, size=256)
+                self.send(member, announce)
         self.set_timer(
             self.params.announce_interval,
             lambda: self._announce_epoch(config, prev_members),
@@ -426,7 +426,6 @@ class ReconfigurableReplica(Process):
                 self.send(
                     pending.client,
                     Redirect(payload.cid, config.members, config.epoch),
-                    size=128,
                 )
 
     def _propose_newest(self, payload: Any) -> bool:
@@ -503,9 +502,7 @@ class ReconfigurableReplica(Process):
         self._replies[cid] = (value, epoch, vindex)
         pending = self._pending.pop(cid, None)
         if pending is not None:
-            self.send(
-                pending.client, ClientReply(cid, value, epoch, vindex), size=128
-            )
+            self.send(pending.client, ClientReply(cid, value, epoch, vindex))
 
     def _finish_epoch(self, runtime: EpochRuntime) -> None:
         assert self.state is not None
@@ -570,14 +567,13 @@ class ReconfigurableReplica(Process):
             return
         source = task.pick_source()
         if self.params.transfer_chunk_bytes is None:
-            self.send(source, SnapshotRequest(task.epoch), size=64)
+            self.send(source, SnapshotRequest(task.epoch))
         else:
             self.send(
                 source,
                 SnapshotChunkRequest(
                     task.epoch, task.next_chunk, self.params.transfer_chunk_bytes
                 ),
-                size=64,
             )
         self._transfer_timer_armed = True
         self.set_timer(
@@ -587,7 +583,7 @@ class ReconfigurableReplica(Process):
     def _handle_snapshot_request(self, request: SnapshotRequest, sender: NodeId) -> None:
         cached = self.boundary_snapshots.get(request.epoch)
         if cached is None:
-            self.send(sender, SnapshotUnavailable(request.epoch), size=64)
+            self.send(sender, SnapshotUnavailable(request.epoch))
             return
         snapshot, size = cached
         # Deep copy models serialisation: the receiver must not alias our
@@ -633,7 +629,7 @@ class ReconfigurableReplica(Process):
     def _handle_chunk_request(self, request: SnapshotChunkRequest, sender: NodeId) -> None:
         cached = self.boundary_snapshots.get(request.epoch)
         if cached is None:
-            self.send(sender, SnapshotUnavailable(request.epoch), size=64)
+            self.send(sender, SnapshotUnavailable(request.epoch))
             return
         snapshot, size = cached
         total = max(1, -(-size // request.chunk_bytes))  # ceil division
@@ -683,7 +679,6 @@ class ReconfigurableReplica(Process):
                 SnapshotChunkRequest(
                     task.epoch, task.next_chunk, self.params.transfer_chunk_bytes
                 ),
-                size=64,
             )
 
     # ------------------------------------------------------------------
@@ -705,7 +700,7 @@ class ReconfigurableReplica(Process):
         if not self._observer_bootstrapped or silent_for >= self.params.observer_resubscribe_interval:
             target = self._observe_targets[self._observe_index % len(self._observe_targets)]
             self._observe_index += 1
-            self.send(target, ObserverSubscribe(), size=64)
+            self.send(target, ObserverSubscribe())
         self.set_timer(
             self.params.observer_resubscribe_interval,
             self._observer_subscribe_tick,
@@ -802,9 +797,7 @@ class ReconfigurableReplica(Process):
         cached = self._replies.get(command.cid)
         if cached is not None:
             value, epoch, vindex = cached
-            self.send(
-                request.reply_to, ClientReply(command.cid, value, epoch, vindex), size=128
-            )
+            self.send(request.reply_to, ClientReply(command.cid, value, epoch, vindex))
             return
         if (
             self.params.read_mode == "lease"
@@ -816,7 +809,7 @@ class ReconfigurableReplica(Process):
             config = self.newest_config
             members = config.members if config is not None else Membership(frozenset())
             epoch = config.epoch if config is not None else -1
-            self.send(request.reply_to, Redirect(command.cid, members, epoch), size=128)
+            self.send(request.reply_to, Redirect(command.cid, members, epoch))
             return
         self._pending[command.cid] = _PendingReply(request.reply_to, self.now)
         if not self._propose_newest(command):
@@ -825,7 +818,6 @@ class ReconfigurableReplica(Process):
                 self.send(
                     request.reply_to,
                     Redirect(command.cid, config.members, config.epoch),
-                    size=128,
                 )
 
     def _serve_lease_read(self, command: Command, reply_to: NodeId) -> bool:
@@ -865,7 +857,6 @@ class ReconfigurableReplica(Process):
         self.send(
             reply_to,
             ClientReply(command.cid, value, runtime.config.epoch, -1),
-            size=128,
         )
         return True
 
@@ -874,6 +865,29 @@ class ReconfigurableReplica(Process):
         if command.cid in self._sealed_cids or command.cid in self._replies:
             return True
         return self._propose_newest(command)
+
+    def _handle_reconfig_request(self, request: ReconfigRequest) -> None:
+        """Wire entry point for admin reconfiguration (live clusters).
+
+        Mirrors :meth:`_handle_client_request`: the requester is registered
+        as a pending client so the ordinary ``_complete_command`` path
+        acknowledges it when the reconfiguration executes.
+        """
+        command = request.command
+        cached = self._replies.get(command.cid)
+        if cached is not None:
+            value, epoch, vindex = cached
+            self.send(request.reply_to, ClientReply(command.cid, value, epoch, vindex))
+            return
+        self._pending[command.cid] = _PendingReply(request.reply_to, self.now)
+        if not self.request_reconfiguration(command):
+            self._pending.pop(command.cid, None)
+            config = self.newest_config
+            if config is not None:
+                self.send(
+                    request.reply_to,
+                    Redirect(command.cid, config.members, config.epoch),
+                )
 
     # ------------------------------------------------------------------
     # Message dispatch & lifecycle
@@ -884,6 +898,8 @@ class ReconfigurableReplica(Process):
             self._route_instance_message(payload, sender)
         elif isinstance(payload, ClientRequest):
             self._handle_client_request(payload)
+        elif isinstance(payload, ReconfigRequest):
+            self._handle_reconfig_request(payload)
         elif isinstance(payload, EpochAnnounce):
             self._open_epoch(payload.config, prev_members=payload.prev_members)
         elif isinstance(payload, SnapshotRequest):

@@ -19,9 +19,9 @@ from repro.core.reconfig import (
     ReconfigParams,
     ReconfigurableReplica,
 )
+from repro.core.runtime import Runtime
 from repro.core.statemachine import StateMachine
 from repro.errors import ConfigurationError
-from repro.sim.runner import Simulator
 from repro.types import (
     ClientId,
     CommandId,
@@ -33,7 +33,7 @@ from repro.types import (
 
 
 def spawn_replica(
-    sim: Simulator,
+    sim: Runtime,
     node: str,
     app_factory: Callable[[], StateMachine],
     params: ReconfigParams,
@@ -63,7 +63,7 @@ class ReplicatedService:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Runtime,
         members: Iterable[str],
         app_factory: Callable[[], StateMachine],
         engine_factory: EngineFactory | None = None,

@@ -74,7 +74,17 @@ class DedupStateMachine(StateMachine):
                 # client must have moved on, so nobody is waiting for it.
                 self.duplicates_suppressed += 1
                 return None
-        reply = self.inner.apply(command)
+        try:
+            reply = self.inner.apply(command)
+        except Exception as exc:  # noqa: BLE001
+            # A malformed command (unknown op, wrong arg arity) must not
+            # wedge the log: it is already *decided*, so every replica will
+            # execute it. Raising here would poison the execution pointer
+            # at this slot on every replica — one bad client request could
+            # halt the whole live service. Applying to identical state
+            # raises identically everywhere, so turning the error into the
+            # reply value keeps replicas deterministic.
+            reply = f"error: {type(exc).__name__}: {exc}"
         self._applied[client] = (seq, reply)
         return reply
 

@@ -1,0 +1,188 @@
+"""Blocking client for a live cluster: submit commands, drive reconfigs.
+
+:class:`LiveClient` is the synchronous counterpart of
+:class:`repro.core.client.Client`. It speaks the same protocol payloads
+(:class:`ClientRequest` / :class:`ClientReply` / :class:`Redirect` /
+:class:`ReconfigRequest`) over plain sockets, one request at a time, with
+the same retry discipline the simulated client uses:
+
+* retries reuse the **same** :class:`CommandId`, so replica-side dedup
+  gives exactly-once semantics no matter how many times we resend;
+* replies come back over the connection the request went out on — only
+  the contacted replica registered us as a pending client;
+* a :class:`Redirect` (from a retired replica) rotates the view to the
+  advertised membership, restricted to nodes we have addresses for;
+* timeouts and connection errors rotate round-robin to the next replica.
+
+Intended for tests and the ``repro cluster`` CLI, not high throughput.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Iterable
+
+from repro.core.client import ClientReply, ClientRequest, Redirect
+from repro.core.command import ReconfigCommand, ReconfigRequest
+from repro.net import codec
+from repro.net.transport import Address
+from repro.types import ClientId, Command, CommandId, Membership, NodeId
+
+
+class LiveClientError(RuntimeError):
+    """A request could not be completed before its deadline."""
+
+
+class LiveClient:
+    """Synchronous request/reply client for live TCP replicas."""
+
+    def __init__(
+        self,
+        name: str,
+        addresses: dict[str, Address] | dict[NodeId, Address],
+        view: Iterable[str] | None = None,
+        request_timeout: float = 1.0,
+    ):
+        self.node = NodeId(str(name))
+        self.client = ClientId(str(name))
+        #: address book: every replica we may ever be redirected to.
+        self.addresses = {NodeId(str(n)): a for n, a in addresses.items()}
+        members = list(view) if view is not None else sorted(self.addresses)
+        self.view: list[NodeId] = sorted(NodeId(str(n)) for n in members)
+        self.request_timeout = request_timeout
+        self.seq = 0
+        self._target_index = 0
+        self._sock: socket.socket | None = None
+        self._sock_node: NodeId | None = None
+        self._buffer = b""
+
+    # -- public API ---------------------------------------------------------
+
+    def submit(
+        self, op: str, args: tuple[Any, ...] = (), size: int = 64,
+        deadline: float = 15.0,
+    ) -> ClientReply:
+        """Execute one state-machine command; returns its reply."""
+        self.seq += 1
+        cid = CommandId(self.client, self.seq)
+        command = Command(cid, op, tuple(args), size)
+        return self._request(ClientRequest(command, self.node), cid, deadline)
+
+    def reconfigure(
+        self, members: Iterable[str], deadline: float = 30.0
+    ) -> ClientReply:
+        """Reconfigure the cluster to ``members``; returns the ack reply."""
+        self.seq += 1
+        cid = CommandId(self.client, self.seq)
+        command = ReconfigCommand(cid, Membership.from_iter(members))
+        return self._request(ReconfigRequest(command, self.node), cid, deadline)
+
+    def close(self) -> None:
+        self._drop_connection()
+
+    def __enter__(self) -> "LiveClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- request loop -------------------------------------------------------
+
+    def _request(self, payload: Any, cid: CommandId, deadline: float) -> ClientReply:
+        give_up_at = time.monotonic() + deadline
+        last_error: str = "no replicas tried"
+        while time.monotonic() < give_up_at:
+            target = self.view[self._target_index % len(self.view)]
+            budget = min(self.request_timeout, give_up_at - time.monotonic())
+            try:
+                sock = self._connect(target)
+                # Frames carry their destination; rewrite it per target.
+                sock.sendall(codec.encode_frame(self.node, target, payload))
+                reply = self._read_reply(sock, cid, budget)
+            except (OSError, codec.CodecError) as exc:
+                last_error = f"{target}: {exc}"
+                self._drop_connection()
+                self._rotate()
+                time.sleep(0.05)
+                continue
+            if isinstance(reply, ClientReply):
+                return reply
+            if isinstance(reply, Redirect):
+                self._apply_redirect(reply)
+                continue
+            last_error = f"{target}: timed out after {budget:.2f}s"
+            self._rotate()
+        raise LiveClientError(f"{cid} not acknowledged in {deadline}s ({last_error})")
+
+    def _apply_redirect(self, redirect: Redirect) -> None:
+        reachable = sorted(n for n in redirect.members.nodes if n in self.addresses)
+        if reachable and reachable != self.view:
+            self.view = reachable
+            self._target_index = 0
+        else:
+            self._rotate()
+
+    def _rotate(self) -> None:
+        self._target_index = (self._target_index + 1) % len(self.view)
+
+    # -- socket plumbing ----------------------------------------------------
+
+    def _connect(self, target: NodeId) -> socket.socket:
+        if self._sock is not None and self._sock_node == target:
+            return self._sock
+        self._drop_connection()
+        sock = socket.create_connection(self.addresses[target], timeout=2.0)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        self._sock_node = target
+        self._buffer = b""
+        return sock
+
+    def _drop_connection(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - close() best effort
+                pass
+        self._sock = None
+        self._sock_node = None
+        self._buffer = b""
+
+    def _read_reply(
+        self, sock: socket.socket, cid: CommandId, timeout: float
+    ) -> ClientReply | Redirect | None:
+        """Read frames until a reply for ``cid`` arrives or ``timeout``."""
+        give_up_at = time.monotonic() + max(timeout, 0.0)
+        while True:
+            remaining = give_up_at - time.monotonic()
+            if remaining <= 0:
+                return None
+            frame_body = self._read_frame(sock, remaining)
+            if frame_body is None:
+                return None
+            _, _, payload = codec.decode_frame_body(frame_body)
+            if isinstance(payload, (ClientReply, Redirect)) and payload.cid == cid:
+                return payload
+            # Anything else (stale reply from an earlier attempt) is skipped.
+
+    def _read_frame(self, sock: socket.socket, timeout: float) -> bytes | None:
+        give_up_at = time.monotonic() + timeout
+        while True:
+            if len(self._buffer) >= 4:
+                length = codec.frame_length(self._buffer[:4])
+                if len(self._buffer) >= 4 + length:
+                    body = self._buffer[4 : 4 + length]
+                    self._buffer = self._buffer[4 + length :]
+                    return body
+            remaining = give_up_at - time.monotonic()
+            if remaining <= 0:
+                return None
+            sock.settimeout(remaining)
+            try:
+                chunk = sock.recv(65536)
+            except socket.timeout:
+                return None
+            if not chunk:
+                raise ConnectionError("replica closed the connection")
+            self._buffer += chunk

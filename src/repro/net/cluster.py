@@ -1,0 +1,185 @@
+"""Launch a live cluster as real OS processes on localhost.
+
+:class:`LocalCluster` spawns one ``python -m repro serve`` subprocess per
+replica, all sharing a single address book. The book includes a few
+**reserved** names beyond the initial members (``n4``, ``n5``, ... for a
+3-replica cluster) so that joiners introduced by a later RECONFIGURE are
+addressable by every running replica from the start — mirroring the
+simulator's convention that processes exist before they join an epoch.
+
+Used by the ``repro cluster`` subcommand and the loopback integration
+test; each replica's stdout/stderr is captured to a per-node log file so
+a failing run can be diagnosed post-mortem.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.net.transport import Address
+
+
+def free_port(host: str = "127.0.0.1") -> int:
+    """Ask the OS for a currently-free TCP port (best effort)."""
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as probe:
+        probe.bind((host, 0))
+        return probe.getsockname()[1]
+
+
+class LocalCluster:
+    """A localhost cluster of ``repro serve`` subprocesses."""
+
+    def __init__(
+        self,
+        replicas: int = 3,
+        *,
+        host: str = "127.0.0.1",
+        base_port: int | None = None,
+        reserve: int = 2,
+        app: str = "kv",
+        seed: int = 42,
+        log_dir: str | Path | None = None,
+        python: str = sys.executable,
+        verbose: bool = False,
+    ):
+        if replicas < 1:
+            raise ValueError("need at least one replica")
+        self.host = host
+        self.app = app
+        self.seed = seed
+        self.python = python
+        self.verbose = verbose
+        names = [f"n{i + 1}" for i in range(replicas + reserve)]
+        #: members of epoch 0; the rest of the book is reserved for joiners.
+        self.initial = names[:replicas]
+        self.addresses: dict[str, Address] = {
+            name: (host, base_port + i if base_port is not None else free_port(host))
+            for i, name in enumerate(names)
+        }
+        self.procs: dict[str, subprocess.Popen] = {}
+        self.log_dir = Path(
+            log_dir
+            if log_dir is not None
+            else tempfile.mkdtemp(prefix="repro-cluster-")
+        )
+        self.log_dir.mkdir(parents=True, exist_ok=True)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self, wait: bool = True, timeout: float = 15.0) -> None:
+        """Spawn every initial member (and optionally wait for readiness)."""
+        for name in self.initial:
+            self.spawn(name)
+        if wait:
+            self.wait_ready(self.initial, timeout=timeout)
+
+    def spawn(self, name: str) -> subprocess.Popen:
+        """Start (or restart) one replica process.
+
+        Initial members are bootstrapped with ``--initial``; reserved names
+        come up empty and wait to be adopted by a reconfiguration.
+        """
+        if name not in self.addresses:
+            raise KeyError(f"{name!r} is not in the cluster address book")
+        existing = self.procs.get(name)
+        if existing is not None and existing.poll() is None:
+            raise RuntimeError(f"replica {name!r} is already running")
+        host, port = self.addresses[name]
+        argv = [
+            self.python, "-m", "repro", "serve",
+            "--node", name,
+            "--host", host,
+            "--port", str(port),
+            "--peers", self.peers_arg(),
+            "--app", self.app,
+            "--seed", str(self.seed),
+        ]
+        if name in self.initial:
+            argv += ["--initial", ",".join(self.initial)]
+        if self.verbose:
+            argv += ["--verbose"]
+        env = dict(os.environ)
+        src_root = str(Path(__file__).resolve().parents[2])
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        log = open(self.log_dir / f"{name}.log", "ab")
+        try:
+            proc = subprocess.Popen(argv, stdout=log, stderr=subprocess.STDOUT, env=env)
+        finally:
+            log.close()  # the child holds its own descriptor
+        self.procs[name] = proc
+        return proc
+
+    def wait_ready(
+        self, names: list[str] | None = None, timeout: float = 15.0
+    ) -> None:
+        """Block until every named replica accepts TCP connections."""
+        pending = list(names if names is not None else self.procs)
+        give_up_at = time.monotonic() + timeout
+        while pending:
+            name = pending[0]
+            proc = self.procs.get(name)
+            if proc is not None and proc.poll() is not None:
+                raise RuntimeError(
+                    f"replica {name!r} exited with {proc.returncode}; "
+                    f"see {self.log_dir / (name + '.log')}"
+                )
+            try:
+                socket.create_connection(self.addresses[name], timeout=0.25).close()
+                pending.pop(0)
+            except OSError:
+                if time.monotonic() > give_up_at:
+                    raise TimeoutError(
+                        f"replica {name!r} not accepting connections; "
+                        f"see {self.log_dir / (name + '.log')}"
+                    ) from None
+                time.sleep(0.05)
+
+    def kill(self, name: str) -> None:
+        """Hard-kill one replica (fail-stop: no goodbye, no flush)."""
+        proc = self.procs.get(name)
+        if proc is not None and proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+
+    def restart(self, name: str, wait: bool = True, timeout: float = 15.0) -> None:
+        """Bring a killed replica back (with total amnesia, as in the model)."""
+        self.kill(name)
+        self.spawn(name)
+        if wait:
+            self.wait_ready([name], timeout=timeout)
+
+    def shutdown(self) -> None:
+        for name, proc in self.procs.items():
+            if proc.poll() is None:
+                proc.terminate()
+        deadline = time.monotonic() + 5.0
+        for name, proc in self.procs.items():
+            try:
+                proc.wait(timeout=max(0.1, deadline - time.monotonic()))
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=5)
+
+    # -- helpers ------------------------------------------------------------
+
+    def peers_arg(self) -> str:
+        """The whole address book as a ``--peers`` argument string."""
+        return ",".join(
+            f"{name}={host}:{port}" for name, (host, port) in self.addresses.items()
+        )
+
+    def reserved(self) -> list[str]:
+        """Names in the address book that are not initial members."""
+        return [n for n in self.addresses if n not in self.initial]
+
+    def __enter__(self) -> "LocalCluster":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()

@@ -1,0 +1,261 @@
+"""Asyncio TCP transport with the simulator network's sending surface.
+
+:class:`TcpTransport` implements the :class:`repro.core.runtime.MessagePort`
+protocol — the same ``send`` / ``register`` / ``unregister`` / ``knows``
+surface as :class:`repro.sim.network.Network` — over real sockets:
+
+* every process runs one TCP server; peers exchange length-prefixed JSON
+  frames (see :mod:`repro.net.codec`);
+* **outbound** traffic to each configured peer goes through a dedicated
+  :class:`PeerConnection` with a bounded queue and its own writer task, so
+  a slow or dead peer can never block the event loop or other peers —
+  when the queue fills, the oldest frames are dropped (the protocols all
+  tolerate loss and retry);
+* connections are (re)established lazily with exponential backoff plus
+  jitter, so a restarting replica is re-adopted without thundering herds;
+* **inbound** connections from nodes outside the address book (clients,
+  admin tools) are remembered as reply routes: a send to such a node goes
+  back over the connection it last spoke on.
+
+Delivery semantics match the simulator's fail-stop network: unknown or
+unreachable destinations drop messages silently, and per-run statistics
+(:class:`repro.sim.network.NetworkStats`) count messages and bytes by
+payload type.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import traceback
+from typing import Any, Callable
+
+from repro.net import codec
+from repro.sim.network import Message, NetworkStats
+from repro.types import NodeId
+
+#: (host, port) address of one peer process.
+Address = tuple[str, int]
+
+
+class PeerConnection:
+    """Outbound leg to one configured peer: queue + reconnect loop."""
+
+    def __init__(
+        self,
+        transport: "TcpTransport",
+        peer: NodeId,
+        address: Address,
+        queue_limit: int,
+    ):
+        self.transport = transport
+        self.peer = peer
+        self.address = address
+        self.queue: asyncio.Queue[bytes] = asyncio.Queue(maxsize=queue_limit)
+        self.task: asyncio.Task | None = None
+        self.connected = False
+        self.dropped = 0
+        self._closing = False
+
+    def enqueue(self, frame: bytes) -> None:
+        """Queue one frame; sheds the oldest backlog instead of blocking."""
+        while True:
+            try:
+                self.queue.put_nowait(frame)
+                return
+            except asyncio.QueueFull:
+                try:
+                    self.queue.get_nowait()
+                    self.dropped += 1
+                    self.transport.stats.messages_dropped += 1
+                except asyncio.QueueEmpty:  # pragma: no cover - race window
+                    pass
+
+    def ensure_running(self) -> None:
+        if self.task is None or self.task.done():
+            self.task = asyncio.get_running_loop().create_task(
+                self._run(), name=f"peer:{self.peer}"
+            )
+
+    async def _run(self) -> None:
+        backoff = self.transport.reconnect_min
+        while not self._closing:
+            writer = None
+            try:
+                _, writer = await asyncio.open_connection(*self.address)
+                self.connected = True
+                backoff = self.transport.reconnect_min
+                while not self._closing:
+                    frame = await self.queue.get()
+                    writer.write(frame)
+                    await writer.drain()
+            except (ConnectionError, OSError, asyncio.IncompleteReadError):
+                pass
+            finally:
+                self.connected = False
+                if writer is not None:
+                    writer.close()
+            if self._closing:
+                return
+            # Exponential backoff with multiplicative jitter: restarting
+            # peers are re-adopted quickly without synchronized stampedes.
+            await asyncio.sleep(backoff * random.uniform(0.5, 1.5))
+            backoff = min(backoff * 2.0, self.transport.reconnect_max)
+
+    async def close(self) -> None:
+        self._closing = True
+        if self.task is not None:
+            self.task.cancel()
+            try:
+                await self.task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+            self.task = None
+
+
+class TcpTransport:
+    """Length-prefixed-frame message port over asyncio TCP."""
+
+    def __init__(
+        self,
+        addresses: dict[NodeId, Address],
+        *,
+        queue_limit: int = 4096,
+        reconnect_min: float = 0.05,
+        reconnect_max: float = 2.0,
+    ):
+        #: address book: every node this process may *initiate* a
+        #: connection to (replicas; clients stay reply-routed).
+        self.addresses = {NodeId(str(n)): a for n, a in addresses.items()}
+        self.queue_limit = queue_limit
+        self.reconnect_min = reconnect_min
+        self.reconnect_max = reconnect_max
+        self.stats = NetworkStats()
+        self._endpoints: dict[NodeId, Callable[[Message], None]] = {}
+        self._peers: dict[NodeId, PeerConnection] = {}
+        #: reply routes for unconfigured senders (clients/admin tools):
+        #: node -> the StreamWriter of the connection it last spoke on.
+        self._reply_routes: dict[NodeId, asyncio.StreamWriter] = {}
+        self._server: asyncio.base_events.Server | None = None
+        self._clock: Callable[[], float] = lambda: 0.0
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Runtime wiring: timestamps for delivered :class:`Message`\\ s."""
+        self._clock = clock
+
+    # -- endpoint management (Network-compatible) ---------------------------
+
+    def register(self, node: NodeId, deliver: Callable[[Message], None]) -> None:
+        self._endpoints[NodeId(str(node))] = deliver
+
+    def unregister(self, node: NodeId) -> None:
+        self._endpoints.pop(node, None)
+
+    def knows(self, node: NodeId) -> bool:
+        return node in self._endpoints or node in self.addresses
+
+    # -- server side --------------------------------------------------------
+
+    async def start(self, host: str, port: int) -> None:
+        self._server = await asyncio.start_server(self._serve_connection, host, port)
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                header = await reader.readexactly(4)
+                length = codec.frame_length(header)
+                body = await reader.readexactly(length)
+                try:
+                    sender, dest, payload = codec.decode_frame_body(body)
+                except codec.CodecError:
+                    continue  # poison frame: drop it, keep the connection
+                if sender not in self.addresses:
+                    self._reply_routes[sender] = writer
+                try:
+                    self._dispatch_local(sender, dest, payload, len(body) + 4)
+                except Exception:  # noqa: BLE001
+                    # A handler bug must not tear down the connection (and
+                    # with it every queued frame from this peer). The
+                    # simulator fails fast instead; here we log and go on.
+                    traceback.print_exc()
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionError,
+            OSError,
+            codec.CodecError,
+        ):
+            pass
+        finally:
+            stale = [n for n, w in self._reply_routes.items() if w is writer]
+            for node in stale:
+                del self._reply_routes[node]
+            writer.close()
+
+    def _dispatch_local(
+        self, sender: NodeId, dest: NodeId, payload: Any, size: int
+    ) -> None:
+        deliver = self._endpoints.get(dest)
+        if deliver is None:
+            self.stats.messages_dropped += 1
+            return
+        self.stats.messages_delivered += 1
+        deliver(
+            Message(
+                sender=sender, dest=dest, payload=payload, size=size,
+                sent_at=self._clock(),
+            )
+        )
+
+    # -- sending ------------------------------------------------------------
+
+    def send(
+        self, sender: NodeId, dest: NodeId, payload: Any, size: int | None = None
+    ) -> None:
+        """Send ``payload`` to ``dest``; unreachable destinations drop.
+
+        Never blocks: local destinations are delivered via the event loop,
+        remote ones are queued on the peer's writer task.
+        """
+        try:
+            frame = codec.encode_frame(sender, dest, payload)
+        except codec.CodecError:
+            self.stats.messages_dropped += 1
+            return
+        self.stats.record_send(payload, len(frame) if size is None else size)
+        if dest in self._endpoints:
+            # Loopback: through the event loop, never synchronous re-entry
+            # (mirrors the simulator's zero-delay self-delivery).
+            asyncio.get_running_loop().call_soon(
+                self._dispatch_local, sender, dest, payload, len(frame)
+            )
+            return
+        address = self.addresses.get(dest)
+        if address is not None:
+            peer = self._peers.get(dest)
+            if peer is None:
+                peer = PeerConnection(self, dest, address, self.queue_limit)
+                self._peers[dest] = peer
+            peer.enqueue(frame)
+            peer.ensure_running()
+            return
+        route = self._reply_routes.get(dest)
+        if route is not None and not route.is_closing():
+            # Reply path for clients: best-effort write on their inbound
+            # connection (never awaited, so a slow client only buffers).
+            route.write(frame)
+            return
+        self.stats.messages_dropped += 1
+
+    # -- shutdown -----------------------------------------------------------
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for peer in self._peers.values():
+            await peer.close()
+        for writer in set(self._reply_routes.values()):
+            writer.close()
+        self._reply_routes.clear()

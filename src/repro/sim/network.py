@@ -30,6 +30,19 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.runner import Simulator
 
 
+def _estimate_size(payload: Any) -> int:
+    """Wire-size estimate from the shared codec (lazy import: cycle guard)."""
+    global _codec_estimate
+    if _codec_estimate is None:
+        from repro.net.codec import estimate_size
+
+        _codec_estimate = estimate_size
+    return _codec_estimate(payload)
+
+
+_codec_estimate: Callable[[Any], int] | None = None
+
+
 @dataclass(frozen=True, slots=True)
 class Message:
     """Envelope around one protocol payload in flight."""
@@ -176,13 +189,23 @@ class Network:
 
     # -- sending -------------------------------------------------------------
 
-    def send(self, sender: NodeId, dest: NodeId, payload: Any, size: int = 256) -> None:
+    def send(
+        self, sender: NodeId, dest: NodeId, payload: Any, size: int | None = None
+    ) -> None:
         """Queue ``payload`` for asynchronous delivery to ``dest``.
+
+        ``size=None`` estimates the payload's encoded wire size with the
+        shared codec (:func:`repro.net.codec.estimate_size`), so byte
+        accounting matches what the live TCP transport would actually put
+        on the wire; explicit sizes remain for payloads whose bytes are
+        synthetic (modelled snapshots, workload-sized commands).
 
         Unknown destinations are treated as unreachable hosts (message
         dropped) rather than errors: protocols routinely address nodes that
         have been removed from the cluster.
         """
+        if size is None:
+            size = _estimate_size(payload)
         self.stats.record_send(payload, size)
         message = Message(
             sender=sender, dest=dest, payload=payload, size=size, sent_at=self._sim.now

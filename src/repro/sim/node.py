@@ -12,8 +12,11 @@ lifecycle follows the fail-stop / crash-recovery model:
   stable storage that consensus protocols require for safety — while
   everything re-initialised in ``on_restart`` is volatile.
 
-Processes are registered with the simulator, which wires them to the
-network and the trace log.
+Processes are registered with their runtime, which wires them to the
+network and the trace log. A process is written against the structural
+:class:`repro.core.runtime.Runtime` surface only, so the same subclass runs
+unmodified under the discrete-event :class:`repro.sim.runner.Simulator`
+*and* the wall-clock :class:`repro.net.runtime.LiveRuntime` (real TCP).
 """
 
 from __future__ import annotations
@@ -24,14 +27,14 @@ from repro.sim.events import Timer
 from repro.sim.network import Message
 from repro.types import NodeId, Time
 
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.sim.runner import Simulator
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.runtime import Runtime
 
 
 class Process:
-    """Base class for simulated nodes (replicas, clients, services)."""
+    """Base class for hosted nodes (replicas, clients, services)."""
 
-    def __init__(self, sim: "Simulator", node: NodeId):
+    def __init__(self, sim: "Runtime", node: NodeId):
         self.sim = sim
         self.node = node
         self.crashed = False
@@ -51,22 +54,32 @@ class Process:
     # -- clock & messaging ----------------------------------------------------
 
     @property
+    def runtime(self) -> "Runtime":
+        """The hosting runtime (``sim`` kept as the historical attribute name)."""
+        return self.sim
+
+    @property
     def now(self) -> Time:
         return self.sim.now
 
-    def send(self, dest: NodeId, payload: Any, size: int = 256) -> None:
-        """Send a payload to ``dest``; silently dropped if this node is down."""
+    def send(self, dest: NodeId, payload: Any, size: int | None = None) -> None:
+        """Send a payload to ``dest``; silently dropped if this node is down.
+
+        ``size=None`` (the default) lets the network estimate the payload's
+        wire size with the shared codec; pass an explicit size only where
+        the experiment models synthetic payload bytes.
+        """
         if self.crashed:
             return
         self.sim.network.send(self.node, dest, payload, size=size)
 
-    def broadcast(self, dests, payload: Any, size: int = 256) -> None:
+    def broadcast(self, dests, payload: Any, size: int | None = None) -> None:
         """Send the same payload to every node in ``dests`` except ourselves."""
         for dest in dests:
             if dest != self.node:
                 self.send(dest, payload, size=size)
 
-    def send_self(self, dest_and_others, payload: Any, size: int = 256) -> None:
+    def send_self(self, dest_and_others, payload: Any, size: int | None = None) -> None:
         """Send to every node in the group *including* ourselves (loopback)."""
         for dest in dest_and_others:
             if dest == self.node:

@@ -9,6 +9,11 @@ One :class:`Simulator` owns one run. Typical shape::
 The loop pops events in ``(time, seq)`` order, advances the clock, and
 invokes callbacks. There is no concurrency anywhere: determinism comes
 from the total event order plus the seeded RNG tree.
+
+:class:`Simulator` is one of two implementations of the structural
+:class:`repro.core.runtime.Runtime` protocol (the other is the wall-clock
+:class:`repro.net.runtime.LiveRuntime`): any :class:`repro.sim.node.Process`
+runs unmodified on either backend.
 """
 
 from __future__ import annotations

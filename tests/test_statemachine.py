@@ -73,3 +73,37 @@ class TestDedupStateMachine:
         for i in range(10):
             sm.apply(incr(1, client=f"c{i}"))
         assert sm.snapshot_bytes() > base
+
+
+class TestMalformedCommands:
+    """A decided-but-malformed command becomes an error reply, not a crash.
+
+    Raising out of apply would poison the execution pointer at that slot on
+    every replica (the command is already decided), wedging the service.
+    """
+
+    def test_unknown_op_returns_error_reply(self):
+        sm = DedupStateMachine(CounterStateMachine())
+        cmd = Command(CommandId(client_id("c"), 1), "no-such-op", ("x",))
+        reply = sm.apply(cmd)
+        assert isinstance(reply, str) and reply.startswith("error: ")
+        assert "no-such-op" in reply
+
+    def test_bad_arity_returns_error_reply(self):
+        sm = DedupStateMachine(CounterStateMachine())
+        reply = sm.apply(Command(CommandId(client_id("c"), 1), "incr", ("x",)))
+        assert isinstance(reply, str) and reply.startswith("error: ")
+
+    def test_state_machine_keeps_working_after_bad_command(self):
+        sm = DedupStateMachine(CounterStateMachine())
+        sm.apply(Command(CommandId(client_id("c"), 1), "no-such-op", ()))
+        assert sm.apply(incr(2)) == 1
+        assert sm.inner.value("x") == 1
+
+    def test_error_reply_is_cached_like_any_other(self):
+        sm = DedupStateMachine(CounterStateMachine())
+        cmd = Command(CommandId(client_id("c"), 1), "no-such-op", ())
+        first = sm.apply(cmd)
+        second = sm.apply(cmd)  # client retry of the same cid
+        assert first == second
+        assert sm.duplicates_suppressed == 1
