@@ -1,0 +1,35 @@
+"""T9 — wire fast path: binary codec vs JSON (table T9, BENCH_wire.json).
+
+Expected shape: the binary codec clears JSON on every axis — encode and
+decode ops/s over the commit-path payload mix, bytes per mix, and live
+3-replica commit throughput through real processes. Thresholds here are
+looser than the full ``repro bench wire`` regression gate: this is a
+smoke-sized run under pytest, and shared CI machines are noisy.
+"""
+
+from repro.bench.wirebench import _render, bench_codec, bench_live
+
+
+def test_t9_wire_codec(benchmark):
+    results = benchmark.pedantic(
+        lambda: bench_codec(seed=42, smoke=True), rounds=1, iterations=1
+    )
+    _render(results, None)
+    ratios = results["ratios"]
+    assert ratios["encode"] > 1.2
+    assert ratios["decode"] > 1.2
+    assert results["binary"]["mix_bytes"] < results["json"]["mix_bytes"]
+    assert results["binary"]["frame_overhead"] < results["json"]["frame_overhead"]
+
+
+def test_t9_wire_live(benchmark):
+    results = benchmark.pedantic(
+        lambda: bench_live(seed=42, smoke=True), rounds=1, iterations=1
+    )
+    for fmt in ("json", "binary"):
+        row = results[fmt]
+        print(f"{fmt:>7}: {row['ops_per_s']:.0f} ops/s "
+              f"(p50 {row['p50_ms']:.2f} ms, p99 {row['p99_ms']:.2f} ms)")
+    assert results["json"]["ops"] == results["binary"]["ops"]
+    # Both codecs must commit the full workload; binary must not regress.
+    assert results["ratios"]["throughput"] > 0.8

@@ -1,0 +1,258 @@
+"""T9 wire benchmark: binary codec vs JSON, micro and end-to-end.
+
+Two measurements, both run for each wire format on the same invocation so
+the comparison is apples-to-apples:
+
+* **codec micro-benchmark** — encode and decode ops/s over a fixed mix of
+  protocol payloads shaped like real commit-path traffic (client request,
+  accept/accepted/decide with single-command batches, heartbeats, an
+  8-command batch), plus the encoded size of one mix;
+* **live macro-benchmark** — a 3-replica :class:`LocalCluster` of real
+  processes, driven by a pipelined client; reports committed ops/s and
+  p50/p99 client latency.
+
+Results are printed as tables and written to ``BENCH_wire.json`` so later
+PRs have a perf trajectory to compare against. The exit code is a
+regression gate: non-zero when the binary codec loses its lead (see
+``--smoke`` thresholds in :func:`run_wire_bench`).
+
+Run via ``repro bench wire [--smoke] [--skip-live]``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import random
+import time
+from typing import Any, Callable
+
+from repro.consensus.ballot import Ballot
+from repro.consensus.interface import Batch
+from repro.consensus.messages import Accept, Accepted, Decide, Heartbeat, HeartbeatAck
+from repro.core.client import ClientReply, ClientRequest
+from repro.metrics import Table, percentile, summarize_throughput
+from repro.net import codec
+from repro.types import ClientId, Command, CommandId, NodeId
+
+
+def payload_mix(seed: int) -> list[tuple[str, Any]]:
+    """One commit round of protocol traffic plus periodic/batched extras.
+
+    The mix mirrors what actually crosses the wire per committed command
+    in a 3-replica cluster: request in, phase-2 accept out to two
+    followers, their accepteds back, the decide fan-out, the reply — and,
+    at lower frequency, heartbeats and a batched accept under load.
+    """
+    rng = random.Random(seed)
+    ballot = Ballot(rng.randint(1, 9), NodeId("n1"))
+
+    def cmd(seq: int) -> Command:
+        return Command(
+            CommandId(ClientId("cli"), seq),
+            "set",
+            (f"key-{rng.randint(0, 999)}", rng.randint(0, 1 << 30)),
+        )
+
+    one = Batch((cmd(1),))
+    return [
+        ("ClientRequest", ClientRequest(cmd(1), NodeId("cli"))),
+        ("Accept", Accept(ballot, 7, one)),
+        ("Accepted", Accepted(ballot, 7)),
+        ("Accepted", Accepted(ballot, 7)),
+        ("Decide", Decide(7, one)),
+        ("ClientReply", ClientReply(CommandId(ClientId("cli"), 1), "ok", 1, 7)),
+        ("Heartbeat", Heartbeat(ballot, 7, 12.5)),
+        ("HeartbeatAck", HeartbeatAck(ballot, 12.5)),
+        ("Accept(batch8)", Accept(ballot, 8, Batch(tuple(cmd(i) for i in range(8))))),
+    ]
+
+
+def _best_rate(task: Callable[[], int], reps: int) -> float:
+    """Best-of-``reps`` items/second for ``task`` (returns items done)."""
+    best = float("inf")
+    items = 1
+    for _ in range(reps):
+        start = time.perf_counter()
+        items = task()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return items / best
+
+
+def bench_codec(seed: int, smoke: bool) -> dict[str, Any]:
+    """Encode/decode ops/s per wire format over the payload mix."""
+    mix = [p for _, p in payload_mix(seed)]
+    loops = 40 if smoke else 400
+    reps = 3 if smoke else 7
+    results: dict[str, Any] = {}
+    for fmt in codec.WIRE_FORMATS:
+        blobs = [codec.encode_payload(p, fmt) for p in mix]
+        for payload, blob in zip(mix, blobs):
+            if codec.decode_payload(blob) != payload:
+                raise RuntimeError(f"{fmt} round-trip mismatch for {payload!r}")
+
+        def encode_task() -> int:
+            for _ in range(loops):
+                for payload in mix:
+                    codec.encode_payload(payload, fmt)
+            return loops * len(mix)
+
+        def decode_task() -> int:
+            for _ in range(loops):
+                for blob in blobs:
+                    codec.decode_payload(blob)
+            return loops * len(mix)
+
+        results[fmt] = {
+            "encode_ops_s": round(_best_rate(encode_task, reps), 1),
+            "decode_ops_s": round(_best_rate(decode_task, reps), 1),
+            "mix_bytes": sum(len(b) for b in blobs),
+            "frame_overhead": codec.frame_overhead(fmt),
+        }
+    results["ratios"] = {
+        "encode": round(
+            results["binary"]["encode_ops_s"] / results["json"]["encode_ops_s"], 3
+        ),
+        "decode": round(
+            results["binary"]["decode_ops_s"] / results["json"]["decode_ops_s"], 3
+        ),
+        "bytes": round(
+            results["json"]["mix_bytes"] / results["binary"]["mix_bytes"], 3
+        ),
+    }
+    return results
+
+
+def bench_live(seed: int, smoke: bool) -> dict[str, Any]:
+    """Commit throughput + latency through a real 3-replica cluster."""
+    from repro.net.client import LiveClient
+    from repro.net.cluster import LocalCluster
+
+    ops = 300 if smoke else 2000
+    warmup = 20 if smoke else 100
+    window = 32
+    results: dict[str, Any] = {}
+    for fmt in codec.WIRE_FORMATS:
+        with LocalCluster(replicas=3, seed=seed, wire=fmt) as cluster:
+            cluster.start()
+            with LiveClient(
+                "bench", cluster.addresses, view=cluster.initial,
+                request_timeout=2.0, wire_format=fmt,
+            ) as client:
+                client.submit_pipelined(
+                    [("set", (f"warm-{i}", i), 64) for i in range(warmup)],
+                    window=window,
+                )
+                workload = [
+                    ("set", (f"key-{i % 256}", i), 64) for i in range(ops)
+                ]
+                start = time.perf_counter()
+                latencies = client.submit_pipelined(workload, window=window)
+                elapsed = time.perf_counter() - start
+        ms = [lat * 1000.0 for lat in latencies]
+        throughput = summarize_throughput(ops, elapsed)
+        results[fmt] = {
+            "ops": ops,
+            "window": window,
+            "elapsed_s": round(elapsed, 4),
+            "ops_per_s": round(throughput.ops_per_s, 1),
+            "p50_ms": round(percentile(ms, 50), 3),
+            "p99_ms": round(percentile(ms, 99), 3),
+        }
+    results["ratios"] = {
+        "throughput": round(
+            results["binary"]["ops_per_s"] / results["json"]["ops_per_s"], 3
+        ),
+    }
+    return results
+
+
+def _render(codec_results: dict[str, Any], live_results: dict[str, Any] | None) -> None:
+    table = Table(
+        "T9 codec micro-benchmark (payload mix)",
+        ["format", "encode ops/s", "decode ops/s", "mix bytes", "overhead/frame"],
+    )
+    for fmt in codec.WIRE_FORMATS:
+        row = codec_results[fmt]
+        table.add_row(
+            fmt, f"{row['encode_ops_s']:.0f}", f"{row['decode_ops_s']:.0f}",
+            row["mix_bytes"], row["frame_overhead"],
+        )
+    ratios = codec_results["ratios"]
+    table.add_row(
+        "binary/json", f"{ratios['encode']:.2f}x", f"{ratios['decode']:.2f}x",
+        f"{1 / ratios['bytes']:.2f}x", "",
+    )
+    print(table.render())
+    print()
+    if live_results is None:
+        return
+    live = Table(
+        "T9 live 3-replica commit throughput (pipelined client)",
+        ["format", "ops", "ops/s", "p50 ms", "p99 ms"],
+    )
+    for fmt in codec.WIRE_FORMATS:
+        row = live_results[fmt]
+        live.add_row(
+            fmt, row["ops"], f"{row['ops_per_s']:.0f}",
+            f"{row['p50_ms']:.2f}", f"{row['p99_ms']:.2f}",
+        )
+    live.add_row(
+        "binary/json", "", f"{live_results['ratios']['throughput']:.2f}x", "", "",
+    )
+    print(live.render())
+    print()
+
+
+def run_wire_bench(
+    smoke: bool = False,
+    out: str = "BENCH_wire.json",
+    seed: int = 42,
+    skip_live: bool = False,
+) -> int:
+    """Run the wire benchmark; returns a regression-gate exit code.
+
+    Full runs gate on the acceptance bar (binary >= 2x encode/decode,
+    faster live throughput); smoke runs use looser thresholds (1.4x codec,
+    live within noise) so CI fails on regressions, not on machine jitter.
+    """
+    mode = "smoke" if smoke else "full"
+    print(f"T9 wire benchmark ({mode}, seed={seed})")
+    codec_results = bench_codec(seed, smoke)
+    live_results = None if skip_live else bench_live(seed, smoke)
+    _render(codec_results, live_results)
+
+    report = {
+        "bench": "T9-wire",
+        "mode": mode,
+        "seed": seed,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "payload_mix": [name for name, _ in payload_mix(seed)],
+        "codec": codec_results,
+        "live": live_results,
+    }
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {out}")
+
+    codec_floor = 1.4 if smoke else 2.0
+    live_floor = 0.85 if smoke else 1.0
+    failures: list[str] = []
+    ratios = codec_results["ratios"]
+    if ratios["encode"] < codec_floor:
+        failures.append(f"binary encode only {ratios['encode']:.2f}x json "
+                        f"(floor {codec_floor}x)")
+    if ratios["decode"] < codec_floor:
+        failures.append(f"binary decode only {ratios['decode']:.2f}x json "
+                        f"(floor {codec_floor}x)")
+    if live_results is not None:
+        live_ratio = live_results["ratios"]["throughput"]
+        if live_ratio < live_floor:
+            failures.append(f"binary live throughput only {live_ratio:.2f}x "
+                            f"json (floor {live_floor}x)")
+    for failure in failures:
+        print(f"REGRESSION: {failure}")
+    return 1 if failures else 0

@@ -162,7 +162,7 @@ def _cmd_serve(args: "argparse.Namespace") -> int:
     if args.port is not None:
         host, port = args.host, args.port
 
-    transport = TcpTransport(addresses)
+    transport = TcpTransport(addresses, wire_format=args.wire)
     runtime = LiveRuntime(transport, seed=args.seed, echo_trace=args.verbose)
     params = ReconfigParams(engine_factory=MultiPaxosEngine.factory())
     initial_config = None
@@ -194,13 +194,17 @@ def _cmd_cluster(args: "argparse.Namespace") -> int:
         base_port=args.base_port,
         app=args.app,
         seed=args.seed,
+        wire=args.wire,
         verbose=args.verbose,
     )
     print(f"starting {args.replicas} replicas: {', '.join(cluster.initial)} "
           f"(logs in {cluster.log_dir})")
     with cluster:
         cluster.start()
-        client = LiveClient("cli", cluster.addresses, view=cluster.initial)
+        client = LiveClient(
+            "cli", cluster.addresses, view=cluster.initial,
+            wire_format=args.wire,
+        )
         with client:
             print(f"cluster up; submitting {args.ops} commands ...")
             for i in range(args.ops):
@@ -259,6 +263,9 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument("--initial", default="",
                        help="comma-separated epoch-0 members (omit for standby)")
     serve.add_argument("--seed", type=int, default=42)
+    serve.add_argument("--wire", default=None, choices=["json", "binary"],
+                       help="outbound wire format (default: binary; inbound "
+                       "always auto-detects both)")
     serve.add_argument("--verbose", action="store_true",
                        help="stream the trace log to stderr")
 
@@ -274,7 +281,25 @@ def main(argv: list[str] | None = None) -> int:
     cluster.add_argument("--no-reconfigure", action="store_true",
                          help="skip the live membership change")
     cluster.add_argument("--seed", type=int, default=42)
+    cluster.add_argument("--wire", default=None, choices=["json", "binary"],
+                         help="wire format for replicas and the driver client")
     cluster.add_argument("--verbose", action="store_true")
+
+    bench = sub.add_parser(
+        "bench", help="reproducible micro/macro benchmarks"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_target")
+    wire = bench_sub.add_parser(
+        "wire", help="codec ops/s + live 3-replica commit throughput, "
+        "binary vs json; writes BENCH_wire.json"
+    )
+    wire.add_argument("--smoke", action="store_true",
+                      help="small sizes for CI (<60s); still runs both codecs")
+    wire.add_argument("--out", default="BENCH_wire.json",
+                      help="output path (default: BENCH_wire.json)")
+    wire.add_argument("--seed", type=int, default=42)
+    wire.add_argument("--skip-live", action="store_true",
+                      help="codec micro-benchmark only (no subprocesses)")
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -287,6 +312,16 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "cluster":
         return _cmd_cluster(args)
+    if args.command == "bench":
+        if args.bench_target != "wire":
+            bench.print_help()
+            return 1
+        from repro.bench.wirebench import run_wire_bench
+
+        return run_wire_bench(
+            smoke=args.smoke, out=args.out, seed=args.seed,
+            skip_live=args.skip_live,
+        )
     parser.print_help()
     return 1
 

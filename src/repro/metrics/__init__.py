@@ -8,10 +8,12 @@ paper-style tables and text "figures" (series) the benchmark suite prints.
 from repro.metrics.collectors import CompletionCollector, CommitCollector
 from repro.metrics.stats import (
     LatencySummary,
+    ThroughputSummary,
     Timeline,
     longest_gap,
     percentile,
     summarize_latencies,
+    summarize_throughput,
 )
 from repro.metrics.report import Series, Table
 
@@ -21,8 +23,10 @@ __all__ = [
     "LatencySummary",
     "Series",
     "Table",
+    "ThroughputSummary",
     "Timeline",
     "longest_gap",
     "percentile",
     "summarize_latencies",
+    "summarize_throughput",
 ]

@@ -64,6 +64,27 @@ def summarize_latencies(latencies_s: list[float]) -> LatencySummary:
     )
 
 
+@dataclass(frozen=True, slots=True)
+class ThroughputSummary:
+    """Committed-commands-per-second over one measured interval."""
+
+    ops: int
+    elapsed_s: float
+    ops_per_s: float
+
+    def row(self) -> list[str]:
+        return [str(self.ops), f"{self.elapsed_s:.2f}", f"{self.ops_per_s:.0f}"]
+
+
+def summarize_throughput(ops: int, elapsed_s: float) -> ThroughputSummary:
+    """Throughput summary for ``ops`` commands over ``elapsed_s`` seconds."""
+    return ThroughputSummary(
+        ops=ops,
+        elapsed_s=elapsed_s,
+        ops_per_s=ops / elapsed_s if elapsed_s > 0 else 0.0,
+    )
+
+
 def longest_gap(event_times: list[Time], start: Time, end: Time) -> float:
     """Longest interval inside [start, end] with no events.
 

@@ -43,6 +43,7 @@ class LiveClient:
         addresses: dict[str, Address] | dict[NodeId, Address],
         view: Iterable[str] | None = None,
         request_timeout: float = 1.0,
+        wire_format: str | None = None,
     ):
         self.node = NodeId(str(name))
         self.client = ClientId(str(name))
@@ -51,6 +52,12 @@ class LiveClient:
         members = list(view) if view is not None else sorted(self.addresses)
         self.view: list[NodeId] = sorted(NodeId(str(n)) for n in members)
         self.request_timeout = request_timeout
+        #: outbound encoding; replicas mirror it on replies, so this picks
+        #: the wire format for the whole conversation.
+        self.wire_format = (
+            codec.DEFAULT_WIRE_FORMAT if wire_format is None else wire_format
+        )
+        codec.frame_overhead(self.wire_format)  # validates the name eagerly
         self.seq = 0
         self._target_index = 0
         self._sock: socket.socket | None = None
@@ -78,6 +85,107 @@ class LiveClient:
         command = ReconfigCommand(cid, Membership.from_iter(members))
         return self._request(ReconfigRequest(command, self.node), cid, deadline)
 
+    def submit_pipelined(
+        self,
+        ops: list[tuple[str, tuple[Any, ...], int]],
+        window: int = 32,
+        deadline: float = 60.0,
+    ) -> list[float]:
+        """Submit ``ops`` (``(op, args, size)`` triples) with pipelining.
+
+        Keeps up to ``window`` requests in flight on one connection and
+        returns the per-command latency (seconds, submission order). Used
+        by the wire benchmark: the one-at-a-time :meth:`submit` loop
+        measures client round-trips, not replica throughput. Retries reuse
+        CommandIds (replica dedup keeps this exactly-once); a command not
+        acknowledged by ``deadline`` raises :class:`LiveClientError`.
+        """
+        give_up_at = time.monotonic() + deadline
+        latencies: list[float] = [0.0] * len(ops)
+        pending: list[tuple[CommandId, Any]] = []
+        index_of: dict[CommandId, int] = {}
+        for i, (op, args, size) in enumerate(ops):
+            self.seq += 1
+            cid = CommandId(self.client, self.seq)
+            command = Command(cid, op, tuple(args), size)
+            index_of[cid] = i
+            pending.append((cid, ClientRequest(command, self.node)))
+        acked: set[CommandId] = set()
+        sent: dict[CommandId, float] = {}
+        first_sent: dict[CommandId, float] = {}
+        next_to_send = 0
+        target = self.view[self._target_index % len(self.view)]
+        while len(acked) < len(ops):
+            if time.monotonic() >= give_up_at:
+                raise LiveClientError(
+                    f"pipelined run stalled: {len(acked)}/{len(ops)} acknowledged"
+                )
+            try:
+                sock = self._connect(target)
+                # Fill the window in one sendall: client-side coalescing.
+                # Frames carry their destination, so encode per target.
+                burst: list[bytes] = []
+                while next_to_send < len(pending) and len(sent) < window:
+                    cid, request = pending[next_to_send]
+                    next_to_send += 1
+                    if cid in acked:
+                        continue
+                    burst.append(
+                        codec.encode_frame(
+                            self.node, target, request, self.wire_format
+                        )
+                    )
+                    sent[cid] = time.monotonic()
+                    first_sent.setdefault(cid, sent[cid])
+                if burst:
+                    sock.sendall(b"".join(burst))
+                budget = min(
+                    self.request_timeout, give_up_at - time.monotonic()
+                )
+                body = self._read_frame(sock, budget)
+            except (OSError, codec.CodecError):
+                self._drop_connection()
+                self._rotate()
+                target = self.view[self._target_index % len(self.view)]
+                next_to_send, sent = self._first_unacked(pending, acked), {}
+                time.sleep(0.05)
+                continue
+            if body is None:
+                # Stalled: resend everything outstanding. CommandIds are
+                # reused, so replica-side dedup keeps this exactly-once.
+                next_to_send, sent = self._first_unacked(pending, acked), {}
+                continue
+            _, _, payload = codec.decode_frame_body(body)
+            if isinstance(payload, Redirect):
+                self._apply_redirect(payload)
+                target = self.view[self._target_index % len(self.view)]
+                next_to_send, sent = self._first_unacked(pending, acked), {}
+                continue
+            if (
+                isinstance(payload, ClientReply)
+                and payload.cid in index_of
+                and payload.cid not in acked
+            ):
+                # Normal case: measured from the in-flight send. After a
+                # rewind the in-flight record is gone; fall back to the
+                # first transmission so retried commands count their full
+                # wait instead of being dropped from the sample.
+                t0 = sent.pop(payload.cid, None)
+                if t0 is None:
+                    t0 = first_sent.get(payload.cid, time.monotonic())
+                latencies[index_of[payload.cid]] = time.monotonic() - t0
+                acked.add(payload.cid)
+        return latencies
+
+    @staticmethod
+    def _first_unacked(
+        pending: list[tuple[CommandId, Any]], acked: set[CommandId]
+    ) -> int:
+        for i, (cid, _) in enumerate(pending):
+            if cid not in acked:
+                return i
+        return len(pending)
+
     def close(self) -> None:
         self._drop_connection()
 
@@ -98,7 +206,11 @@ class LiveClient:
             try:
                 sock = self._connect(target)
                 # Frames carry their destination; rewrite it per target.
-                sock.sendall(codec.encode_frame(self.node, target, payload))
+                sock.sendall(
+                    codec.encode_frame(
+                        self.node, target, payload, self.wire_format
+                    )
+                )
                 reply = self._read_reply(sock, cid, budget)
             except (OSError, codec.CodecError) as exc:
                 last_error = f"{target}: {exc}"

@@ -44,6 +44,7 @@ class LocalCluster:
         reserve: int = 2,
         app: str = "kv",
         seed: int = 42,
+        wire: str | None = None,
         log_dir: str | Path | None = None,
         python: str = sys.executable,
         verbose: bool = False,
@@ -53,6 +54,9 @@ class LocalCluster:
         self.host = host
         self.app = app
         self.seed = seed
+        #: wire format replicas use between themselves (None = serve default;
+        #: client traffic negotiates per connection either way).
+        self.wire = wire
         self.python = python
         self.verbose = verbose
         names = [f"n{i + 1}" for i in range(replicas + reserve)]
@@ -100,6 +104,8 @@ class LocalCluster:
             "--app", self.app,
             "--seed", str(self.seed),
         ]
+        if self.wire is not None:
+            argv += ["--wire", self.wire]
         if name in self.initial:
             argv += ["--initial", ",".join(self.initial)]
         if self.verbose:

@@ -4,18 +4,30 @@
 protocol — the same ``send`` / ``register`` / ``unregister`` / ``knows``
 surface as :class:`repro.sim.network.Network` — over real sockets:
 
-* every process runs one TCP server; peers exchange length-prefixed JSON
-  frames (see :mod:`repro.net.codec`);
+* every process runs one TCP server; peers exchange length-prefixed
+  frames (see :mod:`repro.net.codec`) in either the compact binary format
+  (the default) or tagged JSON — the wire format is negotiated per
+  connection: each side encodes outbound frames in its configured format,
+  decodes both on inbound, and mirrors a requester's format on replies;
 * **outbound** traffic to each configured peer goes through a dedicated
   :class:`PeerConnection` with a bounded queue and its own writer task, so
   a slow or dead peer can never block the event loop or other peers —
   when the queue fills, the oldest frames are dropped (the protocols all
   tolerate loss and retry);
+* the writer task **coalesces**: each wakeup drains the whole queue (up to
+  ``coalesce_max_bytes``) into a single ``writer.write`` + ``drain`` pair
+  instead of one syscall round per frame; ``coalesce_delay`` optionally
+  holds the first frame of a batch for that many seconds to gather more —
+  an explicit flush-latency bound (0.0 = flush immediately, the default);
 * connections are (re)established lazily with exponential backoff plus
   jitter, so a restarting replica is re-adopted without thundering herds;
-* **inbound** connections from nodes outside the address book (clients,
+* the **inbound** reader consumes the byte stream in large chunks and
+  parses every complete frame out of each chunk, so coalesced batches are
+  decoded without per-frame read syscalls;
+* inbound connections from nodes outside the address book (clients,
   admin tools) are remembered as reply routes: a send to such a node goes
-  back over the connection it last spoke on.
+  back over the connection it last spoke on, encoded in whatever wire
+  format that node used.
 
 Delivery semantics match the simulator's fail-stop network: unknown or
 unreachable destinations drop messages silently, and per-run statistics
@@ -55,6 +67,10 @@ class PeerConnection:
         self.task: asyncio.Task | None = None
         self.connected = False
         self.dropped = 0
+        #: frames handed to the socket / write+drain batches flushed —
+        #: ``frames_sent / batches_sent`` is the realised coalescing factor.
+        self.frames_sent = 0
+        self.batches_sent = 0
         self._closing = False
 
     def enqueue(self, frame: bytes) -> None:
@@ -79,20 +95,46 @@ class PeerConnection:
 
     async def _run(self) -> None:
         backoff = self.transport.reconnect_min
+        max_bytes = self.transport.coalesce_max_bytes
+        delay = self.transport.coalesce_delay
         while not self._closing:
             writer = None
+            batch: list[bytes] = []
             try:
                 _, writer = await asyncio.open_connection(*self.address)
                 self.connected = True
                 backoff = self.transport.reconnect_min
                 while not self._closing:
-                    frame = await self.queue.get()
-                    writer.write(frame)
+                    # Coalesce: take everything queued right now (bounded by
+                    # ``max_bytes``) and flush it as one write+drain round.
+                    batch = [await self.queue.get()]
+                    if delay > 0.0 and self.queue.empty():
+                        # Flush-latency bound: hold the batch open briefly
+                        # to gather frames that arrive back-to-back.
+                        await asyncio.sleep(delay)
+                    size = len(batch[0])
+                    while size < max_bytes:
+                        try:
+                            frame = self.queue.get_nowait()
+                        except asyncio.QueueEmpty:
+                            break
+                        batch.append(frame)
+                        size += len(frame)
+                    writer.write(b"".join(batch) if len(batch) > 1 else batch[0])
                     await writer.drain()
+                    self.frames_sent += len(batch)
+                    self.batches_sent += 1
+                    batch = []
             except (ConnectionError, OSError, asyncio.IncompleteReadError):
                 pass
             finally:
                 self.connected = False
+                if batch:
+                    # Frames already popped from the queue die with the
+                    # connection: account for them instead of losing them
+                    # silently (delivery is not known, so count as dropped).
+                    self.dropped += len(batch)
+                    self.transport.stats.messages_dropped += len(batch)
                 if writer is not None:
                     writer.close()
             if self._closing:
@@ -123,6 +165,10 @@ class TcpTransport:
         queue_limit: int = 4096,
         reconnect_min: float = 0.05,
         reconnect_max: float = 2.0,
+        wire_format: str | None = None,
+        coalesce_max_bytes: int = 256 * 1024,
+        coalesce_delay: float = 0.0,
+        read_chunk: int = 64 * 1024,
     ):
         #: address book: every node this process may *initiate* a
         #: connection to (replicas; clients stay reply-routed).
@@ -130,12 +176,22 @@ class TcpTransport:
         self.queue_limit = queue_limit
         self.reconnect_min = reconnect_min
         self.reconnect_max = reconnect_max
+        #: outbound encoding for configured peers; inbound always
+        #: auto-detects, and reply routes mirror the requester's format.
+        self.wire_format = (
+            codec.DEFAULT_WIRE_FORMAT if wire_format is None else wire_format
+        )
+        codec.frame_overhead(self.wire_format)  # validates the name eagerly
+        self.coalesce_max_bytes = coalesce_max_bytes
+        self.coalesce_delay = coalesce_delay
+        self.read_chunk = read_chunk
         self.stats = NetworkStats()
         self._endpoints: dict[NodeId, Callable[[Message], None]] = {}
         self._peers: dict[NodeId, PeerConnection] = {}
         #: reply routes for unconfigured senders (clients/admin tools):
-        #: node -> the StreamWriter of the connection it last spoke on.
-        self._reply_routes: dict[NodeId, asyncio.StreamWriter] = {}
+        #: node -> (StreamWriter of the connection it last spoke on, the
+        #: wire format it spoke — replies are encoded to match).
+        self._reply_routes: dict[NodeId, tuple[asyncio.StreamWriter, str]] = {}
         self._server: asyncio.base_events.Server | None = None
         self._clock: Callable[[], float] = lambda: 0.0
 
@@ -162,24 +218,41 @@ class TcpTransport:
     async def _serve_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        buffer = bytearray()
         try:
             while True:
-                header = await reader.readexactly(4)
-                length = codec.frame_length(header)
-                body = await reader.readexactly(length)
-                try:
-                    sender, dest, payload = codec.decode_frame_body(body)
-                except codec.CodecError:
-                    continue  # poison frame: drop it, keep the connection
-                if sender not in self.addresses:
-                    self._reply_routes[sender] = writer
-                try:
-                    self._dispatch_local(sender, dest, payload, len(body) + 4)
-                except Exception:  # noqa: BLE001
-                    # A handler bug must not tear down the connection (and
-                    # with it every queued frame from this peer). The
-                    # simulator fails fast instead; here we log and go on.
-                    traceback.print_exc()
+                # Chunked reads: a coalesced batch of frames arrives in one
+                # (or few) chunks and is parsed without per-frame syscalls.
+                chunk = await reader.read(self.read_chunk)
+                if not chunk:
+                    break
+                buffer += chunk
+                pos = 0
+                have = len(buffer)
+                while have - pos >= 4:
+                    length = codec.frame_length(buffer[pos : pos + 4])
+                    if have - pos - 4 < length:
+                        break  # incomplete frame: wait for the next chunk
+                    body = bytes(buffer[pos + 4 : pos + 4 + length])
+                    pos += 4 + length
+                    try:
+                        sender, dest, payload = codec.decode_frame_body(body)
+                    except codec.CodecError:
+                        continue  # poison frame: drop it, keep the stream
+                    if sender not in self.addresses:
+                        self._reply_routes[sender] = (
+                            writer,
+                            codec.frame_format(body),
+                        )
+                    try:
+                        self._dispatch_local(sender, dest, payload, length + 4)
+                    except Exception:  # noqa: BLE001
+                        # A handler bug must not tear down the connection
+                        # (and with it every queued frame from this peer).
+                        # The simulator fails fast; here we log and go on.
+                        traceback.print_exc()
+                if pos:
+                    del buffer[:pos]
         except (
             asyncio.IncompleteReadError,
             ConnectionError,
@@ -188,7 +261,9 @@ class TcpTransport:
         ):
             pass
         finally:
-            stale = [n for n, w in self._reply_routes.items() if w is writer]
+            stale = [
+                n for n, (w, _) in self._reply_routes.items() if w is writer
+            ]
             for node in stale:
                 del self._reply_routes[node]
             writer.close()
@@ -218,8 +293,16 @@ class TcpTransport:
         Never blocks: local destinations are delivered via the event loop,
         remote ones are queued on the peer's writer task.
         """
+        fmt = self.wire_format
+        route = None
+        if dest not in self._endpoints and dest not in self.addresses:
+            entry = self._reply_routes.get(dest)
+            if entry is not None:
+                # Mirror the requester's wire format on the reply, so a
+                # JSON-only client of a binary cluster still gets JSON.
+                route, fmt = entry
         try:
-            frame = codec.encode_frame(sender, dest, payload)
+            frame = codec.encode_frame(sender, dest, payload, fmt)
         except codec.CodecError:
             self.stats.messages_dropped += 1
             return
@@ -240,7 +323,6 @@ class TcpTransport:
             peer.enqueue(frame)
             peer.ensure_running()
             return
-        route = self._reply_routes.get(dest)
         if route is not None and not route.is_closing():
             # Reply path for clients: best-effort write on their inbound
             # connection (never awaited, so a slow client only buffers).
@@ -256,6 +338,6 @@ class TcpTransport:
             await self._server.wait_closed()
         for peer in self._peers.values():
             await peer.close()
-        for writer in set(self._reply_routes.values()):
+        for writer in {w for w, _ in self._reply_routes.values()}:
             writer.close()
         self._reply_routes.clear()

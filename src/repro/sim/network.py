@@ -31,16 +31,35 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 
 def _estimate_size(payload: Any) -> int:
-    """Wire-size estimate from the shared codec (lazy import: cycle guard)."""
-    global _codec_estimate
+    """Wire-size estimate from the shared codec (lazy import: cycle guard).
+
+    Memoized by :func:`repro.net.codec.payload_shape` — payload type plus
+    shallow structure — so the steady-state simulator stops paying a full
+    encode per send: two ``Accept``\\ s carrying equally-shaped commands hit
+    the same cache slot. First-seen shapes still get the exact encoded
+    size, which keeps byte accounting identical for homogeneous traffic.
+    """
+    global _codec_estimate, _codec_shape
     if _codec_estimate is None:
-        from repro.net.codec import estimate_size
+        from repro.net.codec import estimate_size, payload_shape
 
         _codec_estimate = estimate_size
-    return _codec_estimate(payload)
+        _codec_shape = payload_shape
+    shape = _codec_shape(payload)
+    if shape is None:
+        return _codec_estimate(payload)
+    cached = _SIZE_CACHE.get(shape)
+    if cached is None:
+        if len(_SIZE_CACHE) >= _SIZE_CACHE_LIMIT:
+            _SIZE_CACHE.clear()  # tiny entries; full reset beats LRU here
+        cached = _SIZE_CACHE[shape] = _codec_estimate(payload)
+    return cached
 
 
 _codec_estimate: Callable[[Any], int] | None = None
+_codec_shape: Callable[[Any], Any] | None = None
+_SIZE_CACHE: dict[Any, int] = {}
+_SIZE_CACHE_LIMIT = 4096
 
 
 @dataclass(frozen=True, slots=True)

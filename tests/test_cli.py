@@ -33,3 +33,18 @@ class TestCli:
     def test_no_command_prints_help(self, capsys):
         assert main([]) == 1
         assert "usage" in capsys.readouterr().out
+
+    def test_bench_without_target_prints_help(self, capsys):
+        assert main(["bench"]) == 1
+        assert "wire" in capsys.readouterr().out
+
+    def test_bench_wire_codec_micro(self, capsys, tmp_path):
+        # --skip-live keeps tier-1 free of subprocesses; CI runs the live
+        # smoke separately via `repro bench wire --smoke`.
+        out = tmp_path / "bench.json"
+        assert main(
+            ["bench", "wire", "--smoke", "--skip-live", "--out", str(out)]
+        ) == 0
+        report = capsys.readouterr().out
+        assert "codec micro-benchmark" in report
+        assert out.exists()

@@ -268,6 +268,75 @@ class TestContainers:
             codec.decode_payload(json.dumps({"plain": "object"}).encode())
 
 
+@pytest.mark.parametrize(
+    "cls", sorted(STRATEGIES, key=lambda c: c.__name__), ids=lambda c: c.__name__
+)
+class TestFormatParity:
+    """Binary and JSON are interchangeable encodings of the same values."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_binary_json_parity(self, cls, data):
+        payload = data.draw(STRATEGIES[cls])
+        via_binary = codec.decode_payload(codec.encode_payload(payload, "binary"))
+        via_json = codec.decode_payload(codec.encode_payload(payload, "json"))
+        assert type(via_binary) is cls
+        assert type(via_json) is cls
+        assert via_binary == payload
+        assert via_json == payload
+
+    @settings(max_examples=10, deadline=None)
+    @given(data=st.data())
+    def test_frame_parity_and_detection(self, cls, data):
+        payload = data.draw(STRATEGIES[cls])
+        for fmt in codec.WIRE_FORMATS:
+            frame = codec.encode_frame(NodeId("a"), NodeId("b"), payload, fmt)
+            body = frame[4:]
+            assert codec.frame_format(body) == fmt
+            sender, dest, decoded = codec.decode_frame_body(body)
+            assert (sender, dest, decoded) == (NodeId("a"), NodeId("b"), payload)
+
+
+class TestWireFormats:
+    def test_binary_frames_are_smaller(self):
+        payload = m.Accept(
+            Ballot(3, NodeId("n1")), 7,
+            Batch((Command(CommandId(ClientId("c"), 1), "set", ("k", 1), 64),)),
+        )
+        binary = codec.encode_frame(NodeId("n1"), NodeId("n2"), payload, "binary")
+        as_json = codec.encode_frame(NodeId("n1"), NodeId("n2"), payload, "json")
+        assert len(binary) < len(as_json)
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(codec.CodecError):
+            codec.encode_payload(1, "protobuf")
+        with pytest.raises(codec.CodecError):
+            codec.frame_overhead("protobuf")
+
+    def test_frame_overhead_matches_real_envelope(self):
+        # The overhead constant is derived from an actual encoded frame,
+        # not hardcoded: envelope bytes == frame - payload for each format.
+        for fmt in codec.WIRE_FORMATS:
+            frame = codec.encode_frame(NodeId("n1"), NodeId("n2"), None, fmt)
+            payload = codec.encode_payload(None, fmt)
+            assert codec.frame_overhead(fmt) == len(frame) - len(payload)
+
+    def test_wire_size_matches_frame_bytes(self):
+        payload = Command(CommandId(ClientId("c"), 1), "set", ("k", 1), 64)
+        for fmt in codec.WIRE_FORMATS:
+            frame = codec.encode_frame(NodeId("n1"), NodeId("n2"), payload, fmt)
+            assert codec.wire_size(payload, fmt) == len(frame)
+
+    def test_truncated_binary_rejected(self):
+        blob = codec.encode_payload(
+            Command(CommandId(ClientId("c"), 1), "set", ("k", 1), 64), "binary"
+        )
+        with pytest.raises(codec.CodecError):
+            codec.decode_payload(blob[:-1])
+        with pytest.raises(codec.CodecError):
+            codec.decode_payload(blob + b"\x00")
+
+
 class TestEstimator:
     def test_estimate_matches_wire_size_for_protocol(self):
         payload = Command(CommandId(ClientId("c"), 1), "set", ("k", 1), 64)

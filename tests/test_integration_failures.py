@@ -76,7 +76,15 @@ class TestCrashes:
         clients = kv_clients(service, 2, 80)
         FailureInjector(sim, FailureSchedule().crash(0.4, "n2")).arm()
         service.reconfigure_at(0.6, ["n1", "n3", "n4"])
-        done = sim.run_until(lambda: all(c.finished for c in clients), timeout=40.0)
+        # Wait for the epoch change too: the workload can drain a hair
+        # before t=0.6 (wire sizes — and so simulated latencies — shrank
+        # with the binary codec), and stopping there would skip the
+        # reconfiguration this test exists to exercise.
+        done = sim.run_until(
+            lambda: all(c.finished for c in clients)
+            and service.newest_epoch() == 1,
+            timeout=40.0,
+        )
         assert done
         assert_correct(service, clients)
         assert service.newest_epoch() == 1
