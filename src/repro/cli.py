@@ -152,7 +152,7 @@ def _cmd_serve(args: "argparse.Namespace") -> int:
     from repro.consensus.multipaxos import MultiPaxosEngine
     from repro.core.reconfig import ReconfigParams, ReconfigurableReplica
     from repro.net.runtime import LiveRuntime
-    from repro.net.transport import TcpTransport
+    from repro.net.transport import LinkPolicy, TcpTransport
     from repro.types import Configuration, Membership, NodeId
 
     addresses = _parse_peers(args.peers)
@@ -162,8 +162,17 @@ def _cmd_serve(args: "argparse.Namespace") -> int:
     if args.port is not None:
         host, port = args.host, args.port
 
-    transport = TcpTransport(addresses, wire_format=args.wire)
+    transport = TcpTransport(
+        addresses,
+        wire_format=args.wire,
+        # Seeded per replica so injected link loss draws are reproducible.
+        link_policy=LinkPolicy(seed=args.seed),
+    )
     runtime = LiveRuntime(transport, seed=args.seed, echo_trace=args.verbose)
+    if args.chaos:
+        from repro.net.chaos import install_chaos_endpoint
+
+        install_chaos_endpoint(transport, args.node)
     params = ReconfigParams(engine_factory=MultiPaxosEngine.factory())
     initial_config = None
     if args.initial:
@@ -238,6 +247,43 @@ def _cmd_cluster(args: "argparse.Namespace") -> int:
     return 0
 
 
+def _cmd_chaos(args: "argparse.Namespace") -> int:
+    """Seeded fault injection against a live cluster, verified.
+
+    Runs the canonical crash + restart + leader-partition schedule while
+    a workload client records a history, cuts an epoch that votes the
+    partitioned leader out mid-partition, then feeds the recorded history
+    through the linearizability checker. Exit code 0 iff the history is
+    linearizable and the reconfiguration committed.
+    """
+    from repro.net.chaos import run_chaos_scenario
+
+    report = run_chaos_scenario(
+        replicas=args.replicas,
+        seed=args.seed,
+        wire=args.wire,
+        scale=args.scale,
+        verbose=args.verbose,
+    )
+    for line in report.lines():
+        print(line)
+    if args.history:
+        from repro.verify.histories import dump_jsonl
+
+        dump_jsonl(report.history, args.history)
+        print(f"history written to {args.history}")
+    if args.smoke and report.elapsed >= 60.0:
+        print(f"FAIL: smoke chaos run took {report.elapsed:.1f}s (>= 60s)",
+              file=sys.stderr)
+        return 1
+    if not report.ok:
+        print("FAIL: chaos scenario did not verify", file=sys.stderr)
+        return 1
+    print("chaos scenario verified: history linearizable under "
+          "crash+partition+reconfigure")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -268,6 +314,9 @@ def main(argv: list[str] | None = None) -> int:
                        "always auto-detects both)")
     serve.add_argument("--verbose", action="store_true",
                        help="stream the trace log to stderr")
+    serve.add_argument("--chaos", action="store_true",
+                       help="expose the fault-injection admin endpoint "
+                       "(transport-level partitions/drops/delay/loss)")
 
     cluster = sub.add_parser(
         "cluster", help="launch a live localhost cluster and drive it"
@@ -284,6 +333,24 @@ def main(argv: list[str] | None = None) -> int:
     cluster.add_argument("--wire", default=None, choices=["json", "binary"],
                          help="wire format for replicas and the driver client")
     cluster.add_argument("--verbose", action="store_true")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault injection against a live cluster + "
+        "linearizability verdict",
+    )
+    chaos.add_argument("--replicas", type=int, default=3)
+    chaos.add_argument("--seed", type=int, default=42,
+                       help="drives the schedule, workload, and link-loss "
+                       "draws; same seed = same injection order")
+    chaos.add_argument("--scale", type=float, default=1.0,
+                       help="stretch factor for the schedule's offsets")
+    chaos.add_argument("--wire", default=None, choices=["json", "binary"])
+    chaos.add_argument("--smoke", action="store_true",
+                       help="CI gate: also fail if the run takes >= 60s")
+    chaos.add_argument("--history", default=None, metavar="PATH",
+                       help="write the recorded client history as JSONL")
+    chaos.add_argument("--verbose", action="store_true")
 
     bench = sub.add_parser(
         "bench", help="reproducible micro/macro benchmarks"
@@ -312,6 +379,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "cluster":
         return _cmd_cluster(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "bench":
         if args.bench_target != "wire":
             bench.print_help()

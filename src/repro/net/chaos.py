@@ -1,0 +1,590 @@
+"""Scheduled fault injection against a live TCP cluster.
+
+The simulator has had declarative chaos since the beginning: a
+:class:`~repro.sim.failures.FailureSchedule` armed by a
+:class:`~repro.sim.failures.FailureInjector`. This module ports that
+subsystem to the live runtime so the same schedule vocabulary runs against
+real processes and real sockets:
+
+* **crash** = ``SIGKILL`` of the replica's OS process (fail-stop, no
+  goodbye, exactly the paper's model);
+* **restart** = respawn of the process with total amnesia;
+* **partition / link drop / delay / loss** = transport-level, through the
+  :class:`~repro.net.transport.LinkPolicy` hooks — no processes are
+  harmed, which is the point: a partitioned replica keeps running and
+  keeps trying, as a real partitioned replica would.
+
+Link rules reach the replicas over the wire: each ``repro serve --chaos``
+process registers a **chaos endpoint** (``<node>#chaos``) on its
+transport, and the :class:`ChaosController` pushes
+:class:`ChaosCommand` frames to it. The endpoint lives entirely in the
+serve wiring — replica/protocol code cannot see the schedule, preserving
+the simulator's honesty rule.
+
+On top of the controller, :func:`run_chaos_scenario` closes the
+correctness loop for live runs: a workload client records a
+client-observed :class:`~repro.verify.histories.History` while a seeded
+schedule crashes, partitions, and heals the cluster around a live
+reconfiguration, and the recorded history is fed to the same
+Wing–Gong linearizability checker the simulator uses. Exposed as the
+``repro chaos`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable
+
+from repro.net import codec
+from repro.net.client import LiveClient, LiveClientError
+from repro.net.transport import LinkPolicy, TcpTransport
+from repro.sim.failures import (
+    CrashAt,
+    DelayLinkAt,
+    DropLinkAt,
+    FailureAction,
+    FailureSchedule,
+    HealAt,
+    LoseLinkAt,
+    PartitionAt,
+    RestartAt,
+)
+from repro.types import ClientId, CommandId, NodeId
+from repro.verify.histories import History, Operation
+from repro.verify.linearizability import LinearizabilityResult, check_kv_linearizable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.cluster import LocalCluster
+
+#: suffix distinguishing a replica's chaos endpoint from the replica itself.
+CHAOS_SUFFIX = "#chaos"
+
+
+def chaos_endpoint(node: str) -> NodeId:
+    """Transport endpoint id of ``node``'s chaos admin handler."""
+    return NodeId(f"{node}{CHAOS_SUFFIX}")
+
+
+# ---------------------------------------------------------------------------
+# Wire protocol (registered in repro.net.codec's bootstrap)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosCommand:
+    """Controller -> replica: install or remove one link rule.
+
+    ``op`` is one of ``partition | drop | delay | lose | heal |
+    heal_all``; ``side_a``/``side_b`` carry the node groups (for the
+    one-way ops only their first elements are used as ``src``/``dst``),
+    ``value`` carries seconds for ``delay`` and the rate for ``lose``.
+    """
+
+    cid: CommandId
+    op: str
+    name: str = ""
+    side_a: tuple[NodeId, ...] = ()
+    side_b: tuple[NodeId, ...] = ()
+    value: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosAck:
+    """Replica -> controller: rule applied (or rejected)."""
+
+    cid: CommandId
+    node: NodeId
+    op: str
+    applied: bool
+
+
+def apply_chaos_command(policy: LinkPolicy, command: ChaosCommand) -> bool:
+    """Apply one :class:`ChaosCommand` to a transport's link policy."""
+    op = command.op
+    if op == "partition":
+        policy.partition(command.name, command.side_a, command.side_b)
+    elif op == "drop":
+        policy.drop(command.name, command.side_a[0], command.side_b[0])
+    elif op == "delay":
+        policy.delay(command.name, command.side_a[0], command.side_b[0], command.value)
+    elif op == "lose":
+        policy.lose(command.name, command.side_a[0], command.side_b[0], command.value)
+    elif op == "heal":
+        policy.heal(command.name)
+    elif op == "heal_all":
+        policy.heal_all()
+    else:
+        return False
+    return True
+
+
+def install_chaos_endpoint(transport: TcpTransport, node: str) -> NodeId:
+    """Register ``node``'s chaos admin endpoint on its transport.
+
+    Only wired up under ``repro serve --chaos``: production replicas do
+    not expose remote fault injection. The handler mutates the
+    transport's :class:`LinkPolicy` and acks over the requester's reply
+    route — it never touches replica state, so the protocol stack stays
+    blind to the schedule.
+    """
+    endpoint = chaos_endpoint(node)
+
+    def handle(message: Any) -> None:
+        command = message.payload
+        if not isinstance(command, ChaosCommand):
+            return
+        applied = apply_chaos_command(transport.policy, command)
+        transport.send(
+            endpoint,
+            message.sender,
+            ChaosAck(command.cid, NodeId(str(node)), command.op, applied),
+        )
+
+    transport.register(endpoint, handle)
+    return endpoint
+
+
+def _link_command(action: FailureAction, cid: CommandId) -> ChaosCommand | None:
+    """The :class:`ChaosCommand` equivalent of a transport-level action."""
+    if isinstance(action, PartitionAt):
+        return ChaosCommand(cid, "partition", action.name, action.side_a, action.side_b)
+    if isinstance(action, HealAt):
+        return ChaosCommand(cid, "heal", action.name)
+    if isinstance(action, DropLinkAt):
+        return ChaosCommand(cid, "drop", action.name, (action.src,), (action.dst,))
+    if isinstance(action, DelayLinkAt):
+        return ChaosCommand(
+            cid, "delay", action.name, (action.src,), (action.dst,), action.seconds
+        )
+    if isinstance(action, LoseLinkAt):
+        return ChaosCommand(
+            cid, "lose", action.name, (action.src,), (action.dst,), action.rate
+        )
+    return None
+
+
+# ---------------------------------------------------------------------------
+# The controller
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Injection:
+    """One executed schedule entry, for the run's injection log."""
+
+    scheduled_at: float  #: schedule offset (seconds from controller start)
+    applied_at: float  #: wall-clock offset it actually ran at
+    action: FailureAction
+    acks: tuple[str, ...]  #: replicas that acknowledged (link actions only)
+
+
+class ChaosController:
+    """Execute a :class:`FailureSchedule` against a live :class:`LocalCluster`.
+
+    Wall-clock semantics: action times are offsets in seconds from
+    :meth:`run`'s start. Crashes are ``SIGKILL``; restarts respawn the
+    process (and then **re-push every active link rule** to the restarted
+    replica, which comes back with an empty policy — the window where a
+    freshly restarted node briefly heard the far side is exactly the kind
+    of timing bug this subsystem exists to flush out). Link rules are
+    broadcast to every live replica; unreachable replicas are tolerated
+    because the reachable side enforces partitions on both send and
+    receive.
+
+    The injection order is ``schedule.sorted_actions()`` — deterministic
+    for a given schedule, so seeded runs inject identically; the
+    :attr:`log` records what actually ran and when.
+    """
+
+    def __init__(
+        self,
+        cluster: "LocalCluster",
+        schedule: FailureSchedule,
+        *,
+        name: str = "chaos-ctl",
+        ack_timeout: float = 2.0,
+        restart_timeout: float = 15.0,
+        wire_format: str | None = None,
+    ):
+        self.cluster = cluster
+        self.schedule = schedule
+        self.node = NodeId(name)
+        self.client = ClientId(name)
+        self.ack_timeout = ack_timeout
+        self.restart_timeout = restart_timeout
+        self.wire_format = (
+            codec.DEFAULT_WIRE_FORMAT if wire_format is None else wire_format
+        )
+        self.plan: list[FailureAction] = schedule.sorted_actions()
+        self.log: list[Injection] = []
+        self.errors: list[str] = []
+        #: link rules currently installed (name -> action), re-pushed to
+        #: restarted replicas so amnesia does not heal a partition early.
+        self._active: dict[str, FailureAction] = {}
+        self._seq = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "ChaosController":
+        """Run the schedule on a daemon thread (wall clock starts now)."""
+        self._thread = threading.Thread(target=self.run, name="chaos", daemon=True)
+        self._thread.start()
+        return self
+
+    def join(self, timeout: float | None = None) -> None:
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def stop(self) -> None:
+        """Abort between actions (the current action still completes)."""
+        self._stop.set()
+
+    def run(self) -> list[Injection]:
+        """Execute the whole plan; blocking. Returns the injection log."""
+        t0 = time.monotonic()
+        for action in self.plan:
+            delay = t0 + action.time - time.monotonic()
+            if delay > 0 and self._stop.wait(delay):
+                break
+            if self._stop.is_set():
+                break
+            acks = self._apply(action)
+            self.log.append(
+                Injection(action.time, time.monotonic() - t0, action, acks)
+            )
+        return self.log
+
+    # -- applying actions ---------------------------------------------------
+
+    def _apply(self, action: FailureAction) -> tuple[str, ...]:
+        if isinstance(action, CrashAt):
+            self.cluster.kill(str(action.node))
+            return ()
+        if isinstance(action, RestartAt):
+            try:
+                self.cluster.restart(
+                    str(action.node), wait=True, timeout=self.restart_timeout
+                )
+            except (RuntimeError, TimeoutError) as exc:
+                self.errors.append(f"restart {action.node}: {exc}")
+                return ()
+            # The replica restarts with an empty LinkPolicy; re-install
+            # every active rule so e.g. a partitioned node that crashed
+            # and came back stays partitioned until the schedule heals it.
+            acked = []
+            for active in self._active.values():
+                command = _link_command(active, self._next_cid())
+                if command is not None and self._push(str(action.node), command):
+                    acked.append(f"{action.node}:{command.name}")
+            return tuple(acked)
+        command = _link_command(action, self._next_cid())
+        if command is None:  # pragma: no cover - exhaustive over actions
+            self.errors.append(f"unknown action {action!r}")
+            return ()
+        if isinstance(action, HealAt):
+            self._active.pop(action.name, None)
+        else:
+            self._active[action.name] = action
+        return self._broadcast(command)
+
+    def _broadcast(self, command: ChaosCommand) -> tuple[str, ...]:
+        """Push one rule to every live replica; returns who acked."""
+        acked = []
+        for name, proc in self.cluster.procs.items():
+            if proc.poll() is not None:
+                continue
+            # Dedicated CommandId per (rule, replica) so acks correlate.
+            per_node = ChaosCommand(
+                self._next_cid(), command.op, command.name,
+                command.side_a, command.side_b, command.value,
+            )
+            if self._push(name, per_node):
+                acked.append(name)
+        return tuple(acked)
+
+    def _next_cid(self) -> CommandId:
+        self._seq += 1
+        return CommandId(self.client, self._seq)
+
+    def _push(self, replica: str, command: ChaosCommand) -> bool:
+        """Deliver one command to a replica's chaos endpoint, await the ack."""
+        try:
+            with socket.create_connection(
+                self.cluster.addresses[replica], timeout=self.ack_timeout
+            ) as sock:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                sock.sendall(
+                    codec.encode_frame(
+                        self.node, chaos_endpoint(replica), command,
+                        self.wire_format,
+                    )
+                )
+                buffer = b""
+                give_up_at = time.monotonic() + self.ack_timeout
+                while True:
+                    while len(buffer) >= 4:
+                        length = codec.frame_length(buffer[:4])
+                        if len(buffer) < 4 + length:
+                            break
+                        body = buffer[4 : 4 + length]
+                        buffer = buffer[4 + length :]
+                        _, _, payload = codec.decode_frame_body(body)
+                        if (
+                            isinstance(payload, ChaosAck)
+                            and payload.cid == command.cid
+                        ):
+                            return payload.applied
+                    remaining = give_up_at - time.monotonic()
+                    if remaining <= 0:
+                        self.errors.append(f"{replica}: no ack for {command.op}")
+                        return False
+                    sock.settimeout(max(remaining, 0.01))
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        self.errors.append(f"{replica}: closed during {command.op}")
+                        return False
+                    buffer += chunk
+        except (OSError, codec.CodecError) as exc:
+            self.errors.append(f"{replica}: {command.op} push failed: {exc}")
+            return False
+
+
+# ---------------------------------------------------------------------------
+# Workload + verification: the closed loop
+# ---------------------------------------------------------------------------
+
+
+class HistoryRecorder:
+    """Record a client-observed history around a :class:`LiveClient`.
+
+    Every :meth:`submit` becomes one
+    :class:`~repro.verify.histories.Operation` with wall-clock
+    invocation/response times; a request the client gives up on is
+    recorded as **pending** (``returned_at=None``) — it may still commit
+    inside the cluster after we stopped waiting, and the linearizability
+    checker soundly considers both possibilities.
+    """
+
+    def __init__(self, client: "LiveClient"):
+        self.client = client
+        self._t0 = time.monotonic()
+        self.operations: list[Operation] = []
+
+    def submit(
+        self, op: str, args: tuple[Any, ...], size: int = 64,
+        deadline: float = 10.0,
+    ) -> Any | None:
+        invoked_at = time.monotonic() - self._t0
+        try:
+            reply = self.client.submit(op, args, size=size, deadline=deadline)
+        except LiveClientError:
+            self.operations.append(
+                Operation(
+                    cid=CommandId(self.client.client, self.client.seq),
+                    op=op, args=tuple(args), invoked_at=invoked_at,
+                    returned_at=None, value=None,
+                )
+            )
+            return None
+        self.operations.append(
+            Operation(
+                cid=CommandId(self.client.client, self.client.seq),
+                op=op, args=tuple(args), invoked_at=invoked_at,
+                returned_at=time.monotonic() - self._t0, value=reply.value,
+            )
+        )
+        return reply
+
+    def history(self) -> History:
+        return History(self.operations)
+
+
+def canonical_schedule(
+    leader: str, others: Iterable[str], joiner: str, *, seed: int = 42,
+    scale: float = 1.0,
+) -> FailureSchedule:
+    """The canonical live chaos scenario (EXPERIMENTS T10), seeded.
+
+    Offsets are wall-clock seconds from controller start, jittered per
+    seed (same seed -> same schedule -> same injection order):
+
+    1. crash one non-leader replica (``SIGKILL``), chosen by the seed;
+    2. restart it (amnesia; catch-up re-educates it);
+    3. partition the **epoch-0 leader** (the lowest member id campaigns
+       first, so ``leader`` should be the first initial member) away from
+       everyone else — the workload then drives an epoch cut that votes
+       the unreachable leader out while it still believes it leads;
+    4. heal, letting the deposed leader discover its retirement.
+    """
+    rng = random.Random(seed)
+    others = list(others)
+    victim = rng.choice(others)
+
+    def jitter(offset: float) -> float:
+        return round(offset * scale * rng.uniform(0.9, 1.1), 3)
+
+    schedule = FailureSchedule()
+    schedule.crash(jitter(1.0), victim)
+    schedule.restart(jitter(2.0), victim)
+    schedule.partition(
+        jitter(3.4), "cut-leader", [leader], [*others, joiner]
+    )
+    schedule.heal(jitter(5.6), "cut-leader")
+    return schedule
+
+
+@dataclass(slots=True)
+class ChaosReport:
+    """Outcome of one :func:`run_chaos_scenario` run."""
+
+    ok: bool
+    linearizable: "LinearizabilityResult"
+    injections: list[Injection]
+    history: History
+    reconfigured: bool
+    final_members: tuple[str, ...]
+    elapsed: float
+    seed: int
+    log_dir: str
+    errors: list[str] = field(default_factory=list)
+
+    def lines(self) -> list[str]:
+        """Human-readable summary (one string per line)."""
+        out = [
+            f"chaos run: seed={self.seed} elapsed={self.elapsed:.1f}s "
+            f"(replica logs: {self.log_dir})",
+            "injection log:",
+        ]
+        for injection in self.injections:
+            out.append(
+                f"  t={injection.applied_at:6.2f}s "
+                f"(scheduled {injection.scheduled_at:.2f}s) "
+                f"{type(injection.action).__name__} {injection.action}"
+            )
+        completed = len(self.history.completed)
+        pending = len(self.history.pending)
+        out.append(
+            f"history: {completed} completed + {pending} pending operations; "
+            f"reconfigured={'yes' if self.reconfigured else 'NO'} "
+            f"-> members {','.join(self.final_members)}"
+        )
+        result = self.linearizable
+        verdict = "LINEARIZABLE" if result.ok else (
+            f"NOT LINEARIZABLE (key {result.failing_key!r})"
+        )
+        out.append(
+            f"verdict: {verdict} "
+            f"({result.checked_ops} ops over {result.checked_keys} keys)"
+        )
+        for error in self.errors:
+            out.append(f"  note: {error}")
+        return out
+
+
+def run_chaos_scenario(
+    *,
+    replicas: int = 3,
+    seed: int = 42,
+    wire: str | None = None,
+    log_dir: Any = None,
+    keys: int = 8,
+    op_interval: float = 0.02,
+    request_timeout: float = 0.5,
+    scale: float = 1.0,
+    schedule: FailureSchedule | None = None,
+    verbose: bool = False,
+) -> ChaosReport:
+    """Run a seeded failure schedule against a live cluster and verify it.
+
+    Closes the loop the simulator has always had: workload in, chaos in
+    the middle, a client-observed history out, a linearizability verdict
+    at the end. Mid-schedule (during the leader partition for the
+    canonical schedule) the workload client drives a live RECONFIGURE
+    that replaces the isolated leader with a standby joiner.
+    """
+    from repro.net.cluster import LocalCluster
+
+    started = time.monotonic()
+    cluster = LocalCluster(
+        replicas=replicas, reserve=2, seed=seed, wire=wire,
+        log_dir=log_dir, chaos=True, verbose=verbose,
+    )
+    with cluster:
+        cluster.start(timeout=20.0)
+        joiner = cluster.reserved()[0]
+        cluster.spawn(joiner)
+        cluster.wait_ready([joiner], timeout=15.0)
+
+        leader, others = cluster.initial[0], cluster.initial[1:]
+        if schedule is None:
+            schedule = canonical_schedule(
+                leader, others, joiner, seed=seed, scale=scale
+            )
+        plan = schedule.sorted_actions()
+        end_of_schedule = max((a.time for a in plan), default=0.0)
+        # Cut the epoch between the last partition and the first heal (the
+        # window the schedule is built to stress); fall back to mid-run.
+        partition_times = [a.time for a in plan if isinstance(a, PartitionAt)]
+        heal_times = [a.time for a in plan if isinstance(a, HealAt)]
+        if partition_times and heal_times:
+            reconfigure_at = (max(partition_times) + min(heal_times)) / 2
+        else:
+            reconfigure_at = end_of_schedule / 2
+
+        controller = ChaosController(
+            cluster, schedule, wire_format=wire
+        ).start()
+        client = LiveClient(
+            "chaos-cli", cluster.addresses, view=cluster.initial,
+            request_timeout=request_timeout, wire_format=wire,
+        )
+        recorder = HistoryRecorder(client)
+        workload_rng = random.Random(seed)
+        target_members = (*others, joiner)
+        reconfigured = False
+        counter = 0
+        with client:
+            t0 = time.monotonic()
+            while time.monotonic() - t0 < end_of_schedule + 1.0:
+                offset = time.monotonic() - t0
+                if not reconfigured and offset >= reconfigure_at:
+                    try:
+                        client.reconfigure(target_members, deadline=25.0)
+                        reconfigured = True
+                    except LiveClientError as exc:
+                        controller.errors.append(f"reconfigure: {exc}")
+                        reconfigured = True  # do not retry with a new epoch
+                    continue
+                key = f"k{workload_rng.randrange(keys)}"
+                if workload_rng.random() < 0.7:
+                    counter += 1
+                    recorder.submit("set", (key, counter), deadline=8.0)
+                else:
+                    recorder.submit("get", (key,), size=32, deadline=8.0)
+                time.sleep(op_interval)
+            # Final phase: the cluster is healed; read every key back with
+            # generous deadlines so the history ends on settled state.
+            for i in range(keys):
+                recorder.submit("get", (f"k{i}",), size=32, deadline=15.0)
+        controller.stop()
+        controller.join(timeout=30.0)
+    history = recorder.history()
+    result = check_kv_linearizable(history)
+    return ChaosReport(
+        ok=result.ok and reconfigured,
+        linearizable=result,
+        injections=list(controller.log),
+        history=history,
+        reconfigured=reconfigured,
+        final_members=tuple(target_members),
+        elapsed=time.monotonic() - started,
+        seed=seed,
+        log_dir=str(cluster.log_dir),
+        errors=list(controller.errors),
+    )

@@ -34,6 +34,15 @@ class LiveClientError(RuntimeError):
     """A request could not be completed before its deadline."""
 
 
+#: floor for one attempt's socket budget, in seconds. At the deadline edge
+#: ``min(request_timeout, give_up_at - now)`` goes to zero or negative —
+#: a zero/negative budget means the attempt sends and then cannot wait for
+#: the reply at all (and a negative value handed to ``socket.settimeout``
+#: raises ``ValueError`` instead of rotating to the next replica), so every
+#: attempt is clamped to at least this much listening time.
+MIN_ATTEMPT_BUDGET = 0.05
+
+
 class LiveClient:
     """Synchronous request/reply client for live TCP replicas."""
 
@@ -139,10 +148,7 @@ class LiveClient:
                     first_sent.setdefault(cid, sent[cid])
                 if burst:
                     sock.sendall(b"".join(burst))
-                budget = min(
-                    self.request_timeout, give_up_at - time.monotonic()
-                )
-                body = self._read_frame(sock, budget)
+                body = self._read_frame(sock, self._attempt_budget(give_up_at))
             except (OSError, codec.CodecError):
                 self._drop_connection()
                 self._rotate()
@@ -197,12 +203,19 @@ class LiveClient:
 
     # -- request loop -------------------------------------------------------
 
+    def _attempt_budget(self, give_up_at: float) -> float:
+        """Listening budget for one attempt, clamped to a positive floor."""
+        return max(
+            MIN_ATTEMPT_BUDGET,
+            min(self.request_timeout, give_up_at - time.monotonic()),
+        )
+
     def _request(self, payload: Any, cid: CommandId, deadline: float) -> ClientReply:
         give_up_at = time.monotonic() + deadline
         last_error: str = "no replicas tried"
         while time.monotonic() < give_up_at:
             target = self.view[self._target_index % len(self.view)]
-            budget = min(self.request_timeout, give_up_at - time.monotonic())
+            budget = self._attempt_budget(give_up_at)
             try:
                 sock = self._connect(target)
                 # Frames carry their destination; rewrite it per target.

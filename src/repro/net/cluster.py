@@ -26,10 +26,32 @@ from repro.net.transport import Address
 
 
 def free_port(host: str = "127.0.0.1") -> int:
-    """Ask the OS for a currently-free TCP port (best effort)."""
-    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as probe:
-        probe.bind((host, 0))
-        return probe.getsockname()[1]
+    """Ask the OS for a currently-free TCP port (best effort).
+
+    Inherently TOCTOU: the port can be taken between this probe and the
+    replica's bind. Callers must treat a bind failure as retryable (see
+    :meth:`LocalCluster.wait_ready`); ``allocate_ports`` at least stops
+    the *book itself* from racing its own probes.
+    """
+    return allocate_ports(1, host)[0]
+
+
+def allocate_ports(count: int, host: str = "127.0.0.1") -> list[int]:
+    """Reserve ``count`` distinct free ports, holding every probe socket
+    open until all are chosen so consecutive probes cannot race each other
+    into the same port. The window between release and the replica's bind
+    remains (that race is handled by respawn-on-bind-failure)."""
+    probes: list[socket.socket] = []
+    try:
+        for _ in range(count):
+            probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            probe.bind((host, 0))
+            probes.append(probe)
+        return [probe.getsockname()[1] for probe in probes]
+    finally:
+        for probe in probes:
+            probe.close()
 
 
 class LocalCluster:
@@ -48,6 +70,8 @@ class LocalCluster:
         log_dir: str | Path | None = None,
         python: str = sys.executable,
         verbose: bool = False,
+        chaos: bool = False,
+        spawn_retries: int = 3,
     ):
         if replicas < 1:
             raise ValueError("need at least one replica")
@@ -59,14 +83,23 @@ class LocalCluster:
         self.wire = wire
         self.python = python
         self.verbose = verbose
+        #: expose the chaos admin endpoint on every replica (fault
+        #: injection via repro.net.chaos; off for production-like runs).
+        self.chaos = chaos
+        #: respawn budget per replica for bind-time port races.
+        self.spawn_retries = spawn_retries
         names = [f"n{i + 1}" for i in range(replicas + reserve)]
         #: members of epoch 0; the rest of the book is reserved for joiners.
         self.initial = names[:replicas]
+        if base_port is not None:
+            ports = [base_port + i for i in range(len(names))]
+        else:
+            ports = allocate_ports(len(names), host)
         self.addresses: dict[str, Address] = {
-            name: (host, base_port + i if base_port is not None else free_port(host))
-            for i, name in enumerate(names)
+            name: (host, port) for name, port in zip(names, ports)
         }
         self.procs: dict[str, subprocess.Popen] = {}
+        self._respawns: dict[str, int] = {}
         self.log_dir = Path(
             log_dir
             if log_dir is not None
@@ -106,6 +139,8 @@ class LocalCluster:
         ]
         if self.wire is not None:
             argv += ["--wire", self.wire]
+        if self.chaos:
+            argv += ["--chaos"]
         if name in self.initial:
             argv += ["--initial", ",".join(self.initial)]
         if self.verbose:
@@ -131,6 +166,16 @@ class LocalCluster:
             name = pending[0]
             proc = self.procs.get(name)
             if proc is not None and proc.poll() is not None:
+                # The child exited before accepting. Losing the bind race
+                # is expected occasionally — free_port() is TOCTOU, and a
+                # restart rebinds a port whose previous owner just died —
+                # so respawn on the same address a bounded number of times.
+                attempts = self._respawns.get(name, 0)
+                if self._bind_failed(name) and attempts < self.spawn_retries:
+                    self._respawns[name] = attempts + 1
+                    time.sleep(0.1 * (attempts + 1))
+                    self.spawn(name)
+                    continue
                 raise RuntimeError(
                     f"replica {name!r} exited with {proc.returncode}; "
                     f"see {self.log_dir / (name + '.log')}"
@@ -138,6 +183,7 @@ class LocalCluster:
             try:
                 socket.create_connection(self.addresses[name], timeout=0.25).close()
                 pending.pop(0)
+                self._respawns.pop(name, None)
             except OSError:
                 if time.monotonic() > give_up_at:
                     raise TimeoutError(
@@ -146,16 +192,42 @@ class LocalCluster:
                     ) from None
                 time.sleep(0.05)
 
+    #: substrings identifying a failed TCP bind across platforms
+    #: (EADDRINUSE is errno 98 on Linux, 48 on macOS, 10048 on Windows).
+    _BIND_ERRORS = ("address already in use", "errno 98", "errno 48", "10048")
+
+    def _bind_failed(self, name: str) -> bool:
+        """Did ``name``'s last incarnation die failing to bind its port?"""
+        try:
+            tail = (self.log_dir / f"{name}.log").read_bytes()[-4096:]
+        except OSError:
+            return False
+        text = tail.decode("utf-8", errors="replace").lower()
+        return any(marker in text for marker in self._BIND_ERRORS)
+
     def kill(self, name: str) -> None:
-        """Hard-kill one replica (fail-stop: no goodbye, no flush)."""
+        """Hard-kill one replica (fail-stop: no goodbye, no flush).
+
+        Always reaps: even a replica that already died on its own is
+        ``wait()``-ed, so repeated kill/restart rounds (chaos schedules)
+        never accumulate zombie children.
+        """
         proc = self.procs.get(name)
-        if proc is not None and proc.poll() is None:
+        if proc is None:
+            return
+        if proc.poll() is None:
             proc.kill()
-            proc.wait(timeout=10)
+        proc.wait(timeout=10)
 
     def restart(self, name: str, wait: bool = True, timeout: float = 15.0) -> None:
-        """Bring a killed replica back (with total amnesia, as in the model)."""
+        """Bring a killed replica back (with total amnesia, as in the model).
+
+        The replica keeps its address-book port; if the old incarnation's
+        socket still lingers, :meth:`wait_ready` retries the spawn rather
+        than failing on the first lost bind race.
+        """
         self.kill(name)
+        self._respawns.pop(name, None)  # fresh retry budget per restart
         self.spawn(name)
         if wait:
             self.wait_ready([name], timeout=timeout)
@@ -171,6 +243,14 @@ class LocalCluster:
             except subprocess.TimeoutExpired:
                 proc.kill()
                 proc.wait(timeout=5)
+
+    def reap(self) -> list[str]:
+        """Collect exit statuses of every dead child; returns their names."""
+        dead = []
+        for name, proc in self.procs.items():
+            if proc.poll() is not None:
+                dead.append(name)
+        return dead
 
     # -- helpers ------------------------------------------------------------
 

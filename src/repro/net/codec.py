@@ -122,6 +122,7 @@ def _bootstrap() -> None:
     from repro.core import command as cmd
     from repro.core import reconfig as rc
     from repro.core import state_transfer as st
+    from repro.net import chaos as ch
 
     protocol: Iterable[type] = (
         # shared primitives
@@ -167,6 +168,9 @@ def _bootstrap() -> None:
         st.SnapshotUnavailable,
         st.SnapshotChunkRequest,
         st.SnapshotChunkReply,
+        # fault-injection admin protocol (serve --chaos only)
+        ch.ChaosCommand,
+        ch.ChaosAck,
     )
     for cls in protocol:
         register(cls)

@@ -14,6 +14,7 @@ kept so that per-node timer jitter is still reproducible in isolation.
 from __future__ import annotations
 
 import asyncio
+import random
 import signal
 import sys
 from typing import Any, Callable
@@ -77,6 +78,10 @@ class LiveRuntime:
         self._started = False
         self.events_executed = 0
         transport.bind_clock(lambda: self.now)
+        # Reconnect jitter and link-loss draws come from seed-derived RNGs,
+        # so a seeded chaos run reproduces its transport-level timing. An
+        # RNG injected at transport construction wins over this ambient one.
+        transport.bind_rng(random.Random(seed))
 
     # -- clock & scheduling (Runtime protocol) ------------------------------
 

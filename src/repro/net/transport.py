@@ -49,6 +49,122 @@ from repro.types import NodeId
 #: (host, port) address of one peer process.
 Address = tuple[str, int]
 
+#: wildcard node pattern accepted by LinkPolicy link rules.
+ANY_NODE = "*"
+
+
+class LinkPolicy:
+    """Injectable link-fault rules, consulted on every send and dispatch.
+
+    Fault injection for the live runtime without killing processes: the
+    transport asks the policy before moving a frame, so partitions, one-way
+    drops, added latency, and probabilistic loss can be installed (and
+    healed) at runtime — e.g. by :mod:`repro.net.chaos` pushing a
+    :class:`~repro.net.chaos.ChaosCommand` to a replica's chaos endpoint.
+
+    Every rule carries a **name** so it can be healed individually, the
+    same convention as :meth:`repro.sim.network.Network.partition`. Rules:
+
+    * ``partition(name, side_a, side_b)`` — block traffic both ways
+      between two node groups (exactly the simulator's semantics);
+    * ``drop(name, src, dst)`` — block ``src -> dst`` only (one-way);
+    * ``delay(name, src, dst, seconds)`` — add one-way latency;
+    * ``lose(name, src, dst, rate)`` — drop that fraction of frames,
+      using this policy's own seeded RNG so runs are reproducible.
+
+    ``src``/``dst`` accept ``"*"`` as a wildcard. Nodes not named by any
+    rule are unaffected, so admin/chaos traffic itself passes through.
+    The default policy has no rules and short-circuits to "allow".
+    """
+
+    def __init__(self, seed: int | None = None):
+        self.rng = random.Random(seed)
+        self._partitions: dict[str, tuple[frozenset[str], frozenset[str]]] = {}
+        self._drops: dict[str, tuple[str, str]] = {}
+        self._delays: dict[str, tuple[str, str, float]] = {}
+        self._loss: dict[str, tuple[str, str, float]] = {}
+
+    # -- rule management ----------------------------------------------------
+
+    def partition(self, name: str, side_a, side_b) -> None:
+        self._partitions[name] = (
+            frozenset(str(n) for n in side_a),
+            frozenset(str(n) for n in side_b),
+        )
+
+    def drop(self, name: str, src: str, dst: str) -> None:
+        self._drops[name] = (str(src), str(dst))
+
+    def delay(self, name: str, src: str, dst: str, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"negative link delay {seconds}")
+        self._delays[name] = (str(src), str(dst), seconds)
+
+    def lose(self, name: str, src: str, dst: str, rate: float) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"loss rate {rate} outside [0, 1]")
+        self._loss[name] = (str(src), str(dst), rate)
+
+    def heal(self, name: str) -> None:
+        """Remove the named rule wherever it lives; unknown names no-op."""
+        self._partitions.pop(name, None)
+        self._drops.pop(name, None)
+        self._delays.pop(name, None)
+        self._loss.pop(name, None)
+
+    def heal_all(self) -> None:
+        self._partitions.clear()
+        self._drops.clear()
+        self._delays.clear()
+        self._loss.clear()
+
+    def active(self) -> list[str]:
+        """Names of every installed rule (diagnostics)."""
+        return sorted(
+            {*self._partitions, *self._drops, *self._delays, *self._loss}
+        )
+
+    # -- queries (the transport's hot path) ---------------------------------
+
+    @staticmethod
+    def _match(pattern: str, node: str) -> bool:
+        return pattern == ANY_NODE or pattern == node
+
+    def blocks(self, src: NodeId, dst: NodeId) -> bool:
+        """Deterministically blocked? (partitions are two-way, drops one-way)"""
+        if self._partitions:
+            for side_a, side_b in self._partitions.values():
+                if (src in side_a and dst in side_b) or (
+                    src in side_b and dst in side_a
+                ):
+                    return True
+        if self._drops:
+            for rule_src, rule_dst in self._drops.values():
+                if self._match(rule_src, src) and self._match(rule_dst, dst):
+                    return True
+        return False
+
+    def should_drop(self, src: NodeId, dst: NodeId) -> bool:
+        """Blocked or probabilistically lost (consults the seeded RNG)."""
+        if self.blocks(src, dst):
+            return True
+        if self._loss:
+            for rule_src, rule_dst, rate in self._loss.values():
+                if self._match(rule_src, src) and self._match(rule_dst, dst):
+                    if self.rng.random() < rate:
+                        return True
+        return False
+
+    def latency(self, src: NodeId, dst: NodeId) -> float:
+        """Injected one-way delay in seconds (sums overlapping rules)."""
+        if not self._delays:
+            return 0.0
+        return sum(
+            seconds
+            for rule_src, rule_dst, seconds in self._delays.values()
+            if self._match(rule_src, src) and self._match(rule_dst, dst)
+        )
+
 
 class PeerConnection:
     """Outbound leg to one configured peer: queue + reconnect loop."""
@@ -141,7 +257,9 @@ class PeerConnection:
                 return
             # Exponential backoff with multiplicative jitter: restarting
             # peers are re-adopted quickly without synchronized stampedes.
-            await asyncio.sleep(backoff * random.uniform(0.5, 1.5))
+            # The jitter comes from the transport's (seedable) RNG so a
+            # seeded chaos run reproduces its reconnect timing.
+            await asyncio.sleep(backoff * self.transport.rng.uniform(0.5, 1.5))
             backoff = min(backoff * 2.0, self.transport.reconnect_max)
 
     async def close(self) -> None:
@@ -169,6 +287,8 @@ class TcpTransport:
         coalesce_max_bytes: int = 256 * 1024,
         coalesce_delay: float = 0.0,
         read_chunk: int = 64 * 1024,
+        link_policy: LinkPolicy | None = None,
+        rng: random.Random | None = None,
     ):
         #: address book: every node this process may *initiate* a
         #: connection to (replicas; clients stay reply-routed).
@@ -185,6 +305,13 @@ class TcpTransport:
         self.coalesce_max_bytes = coalesce_max_bytes
         self.coalesce_delay = coalesce_delay
         self.read_chunk = read_chunk
+        #: chaos hooks; the permissive default short-circuits to "allow".
+        self.policy = link_policy if link_policy is not None else LinkPolicy()
+        #: timing randomness (reconnect jitter). Seed it — or let
+        #: :meth:`bind_rng` seed it — to make chaos runs reproducible;
+        #: unseeded transports fall back to the module-level RNG.
+        self.rng: random.Random | Any = rng if rng is not None else random
+        self._rng_bound = rng is not None
         self.stats = NetworkStats()
         self._endpoints: dict[NodeId, Callable[[Message], None]] = {}
         self._peers: dict[NodeId, PeerConnection] = {}
@@ -198,6 +325,18 @@ class TcpTransport:
     def bind_clock(self, clock: Callable[[], float]) -> None:
         """Runtime wiring: timestamps for delivered :class:`Message`\\ s."""
         self._clock = clock
+
+    def bind_rng(self, rng: random.Random) -> None:
+        """Runtime wiring: adopt a seeded RNG unless one was injected.
+
+        :class:`repro.net.runtime.LiveRuntime` calls this with an RNG
+        derived from its seed, so reconnect jitter is reproducible per
+        seed without every call site having to thread one through. An RNG
+        passed to the constructor wins (explicit beats ambient).
+        """
+        if not self._rng_bound:
+            self.rng = rng
+            self._rng_bound = True
 
     # -- endpoint management (Network-compatible) ---------------------------
 
@@ -271,6 +410,13 @@ class TcpTransport:
     def _dispatch_local(
         self, sender: NodeId, dest: NodeId, payload: Any, size: int
     ) -> None:
+        if self.policy.blocks(sender, dest):
+            # Inbound enforcement: a partition holds even while the far
+            # side has not (or cannot — it may be mid-crash) applied it.
+            # Only deterministic rules here; loss and delay are applied
+            # once, on the sending side.
+            self.stats.messages_dropped += 1
+            return
         deliver = self._endpoints.get(dest)
         if deliver is None:
             self.stats.messages_dropped += 1
@@ -307,6 +453,28 @@ class TcpTransport:
             self.stats.messages_dropped += 1
             return
         self.stats.record_send(payload, len(frame) if size is None else size)
+        if self.policy.should_drop(sender, dest):
+            # Chaos hook: partitioned / one-way-dropped / probabilistically
+            # lost. Mirrors the simulator's "sent then lost" accounting.
+            self.stats.messages_dropped += 1
+            return
+        injected = self.policy.latency(sender, dest)
+        if injected > 0.0:
+            asyncio.get_running_loop().call_later(
+                injected, self._forward, sender, dest, payload, frame, route
+            )
+            return
+        self._forward(sender, dest, payload, frame, route)
+
+    def _forward(
+        self,
+        sender: NodeId,
+        dest: NodeId,
+        payload: Any,
+        frame: bytes,
+        route: asyncio.StreamWriter | None,
+    ) -> None:
+        """Move one already-encoded frame to its destination leg."""
         if dest in self._endpoints:
             # Loopback: through the event loop, never synchronous re-entry
             # (mirrors the simulator's zero-delay self-delivery).

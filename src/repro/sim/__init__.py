@@ -20,15 +20,32 @@ from repro.sim.network import (
     ZonedLatencyModel,
 )
 from repro.sim.node import Process
-from repro.sim.failures import FailureInjector, FailureSchedule
+from repro.sim.failures import (
+    CrashAt,
+    DelayLinkAt,
+    DropLinkAt,
+    FailureInjector,
+    FailureSchedule,
+    HealAt,
+    LoseLinkAt,
+    PartitionAt,
+    RestartAt,
+)
 from repro.sim.runner import Simulator
 from repro.sim.trace import TraceLog, TraceRecord
 
 __all__ = [
+    "CrashAt",
+    "DelayLinkAt",
+    "DropLinkAt",
     "Event",
     "EventQueue",
     "FailureInjector",
     "FailureSchedule",
+    "HealAt",
+    "LoseLinkAt",
+    "PartitionAt",
+    "RestartAt",
     "LatencyModel",
     "Message",
     "Network",

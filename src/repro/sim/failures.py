@@ -1,9 +1,19 @@
-"""Failure injection: scheduled crashes, restarts, and partitions.
+"""Failure injection: scheduled crashes, restarts, partitions, link faults.
 
 Experiments describe *what goes wrong and when* declaratively with a
-:class:`FailureSchedule`; the :class:`FailureInjector` arms the schedule
-against a running simulation. Keeping failures out of protocol code keeps
-both sides honest: protocols cannot "see" the schedule.
+:class:`FailureSchedule`; an injector arms the schedule against a running
+system. Keeping failures out of protocol code keeps both sides honest:
+protocols cannot "see" the schedule.
+
+The schedule types are **runtime-agnostic**: ``time`` is seconds on
+whichever clock the executing injector uses — virtual seconds under
+:class:`FailureInjector` (simulator), wall-clock seconds from the start of
+the run under :class:`repro.net.chaos.ChaosController` (live TCP cluster).
+The link-level actions (:class:`DropLinkAt`, :class:`DelayLinkAt`,
+:class:`LoseLinkAt`) target the live transport's
+:class:`repro.net.transport.LinkPolicy`; the simulator's network has no
+one-way/latency/loss hooks per named rule, so the sim injector rejects
+them explicitly instead of silently ignoring them.
 """
 
 from __future__ import annotations
@@ -46,13 +56,54 @@ class PartitionAt:
 
 @dataclass(frozen=True, slots=True)
 class HealAt:
-    """Heal a named partition at ``time``."""
+    """Heal a named partition (or named link rule) at ``time``."""
 
     time: Time
     name: str
 
 
-FailureAction = CrashAt | RestartAt | PartitionAt | HealAt
+@dataclass(frozen=True, slots=True)
+class DropLinkAt:
+    """Drop all ``src -> dst`` traffic (one-way) from ``time`` until healed.
+
+    ``src``/``dst`` may be ``"*"`` to match any node (live runtime only).
+    """
+
+    time: Time
+    name: str
+    src: NodeId
+    dst: NodeId
+
+
+@dataclass(frozen=True, slots=True)
+class DelayLinkAt:
+    """Add ``seconds`` of one-way latency on ``src -> dst`` until healed."""
+
+    time: Time
+    name: str
+    src: NodeId
+    dst: NodeId
+    seconds: float
+
+
+@dataclass(frozen=True, slots=True)
+class LoseLinkAt:
+    """Drop ``src -> dst`` frames with probability ``rate`` until healed."""
+
+    time: Time
+    name: str
+    src: NodeId
+    dst: NodeId
+    rate: float
+
+
+FailureAction = (
+    CrashAt | RestartAt | PartitionAt | HealAt
+    | DropLinkAt | DelayLinkAt | LoseLinkAt
+)
+
+#: actions the simulator's network cannot express (live transport only).
+LINK_ACTIONS = (DropLinkAt, DelayLinkAt, LoseLinkAt)
 
 
 @dataclass(slots=True)
@@ -86,6 +137,40 @@ class FailureSchedule:
         self.actions.append(HealAt(time, name))
         return self
 
+    def drop_link(
+        self, time: Time, name: str, src: str, dst: str
+    ) -> "FailureSchedule":
+        self.actions.append(DropLinkAt(time, name, NodeId(src), NodeId(dst)))
+        return self
+
+    def delay_link(
+        self, time: Time, name: str, src: str, dst: str, seconds: float
+    ) -> "FailureSchedule":
+        if seconds < 0:
+            raise ConfigurationError(f"negative link delay {seconds}")
+        self.actions.append(
+            DelayLinkAt(time, name, NodeId(src), NodeId(dst), seconds)
+        )
+        return self
+
+    def lose_link(
+        self, time: Time, name: str, src: str, dst: str, rate: float
+    ) -> "FailureSchedule":
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError(f"loss rate {rate} outside [0, 1]")
+        self.actions.append(LoseLinkAt(time, name, NodeId(src), NodeId(dst), rate))
+        return self
+
+    def sorted_actions(self) -> list[FailureAction]:
+        """Actions in execution order: by time, insertion order breaking ties.
+
+        This is the injection order every executor follows, so two runs of
+        the same schedule inject identically regardless of runtime.
+        """
+        return sorted(
+            self.actions, key=lambda a: a.time
+        )  # sorted() is stable: equal times keep insertion order
+
 
 class FailureInjector:
     """Arms a :class:`FailureSchedule` against a simulation."""
@@ -96,6 +181,12 @@ class FailureInjector:
 
     def arm(self) -> None:
         for action in self._schedule.actions:
+            if isinstance(action, LINK_ACTIONS):
+                raise ConfigurationError(
+                    f"{type(action).__name__} targets the live transport's "
+                    "LinkPolicy; the simulator network has no per-link hooks "
+                    "(use repro.net.chaos.ChaosController)"
+                )
             if action.time < self._sim.now:
                 raise ConfigurationError(
                     f"failure action {action} scheduled before current time"

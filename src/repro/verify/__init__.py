@@ -15,7 +15,7 @@ from repro.verify.app_oracles import (
     check_bank_conservation,
     check_lock_mutual_exclusion,
 )
-from repro.verify.histories import History, Operation
+from repro.verify.histories import History, Operation, dump_jsonl, load_jsonl
 from repro.verify.invariants import (
     check_chain_agreement,
     check_prefix_consistency,
@@ -39,6 +39,8 @@ __all__ = [
     "run_all_invariants",
     "VerificationReport",
     "check_replay_matches_acks",
+    "dump_jsonl",
+    "load_jsonl",
     "replay_committed",
     "verify_run",
 ]

@@ -12,7 +12,9 @@ effect, and the checker must consider both possibilities.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Iterable
 
 from repro.core.client import Client
@@ -114,3 +116,46 @@ class History:
                     )
                 )
         return cls(operations)
+
+
+def dump_jsonl(history: History, path: str | Path) -> None:
+    """Write a history as JSON lines (one operation per line).
+
+    Live chaos runs (``repro chaos --history``) persist their recorded
+    histories this way, so a failing run's evidence survives the run and
+    can be re-checked offline with :func:`load_jsonl` +
+    :func:`repro.verify.linearizability.check_kv_linearizable`.
+    """
+    with open(path, "w", encoding="utf-8") as out:
+        for op in history:
+            out.write(json.dumps({
+                "client": str(op.cid.client),
+                "seq": op.cid.seq,
+                "op": op.op,
+                "args": list(op.args),
+                "invoked_at": op.invoked_at,
+                "returned_at": op.returned_at,
+                "value": op.value,
+            }, separators=(",", ":")) + "\n")
+
+
+def load_jsonl(path: str | Path) -> History:
+    """Load a history written by :func:`dump_jsonl`."""
+    operations: list[Operation] = []
+    with open(path, "r", encoding="utf-8") as source:
+        for line in source:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            operations.append(
+                Operation(
+                    cid=CommandId(ClientId(record["client"]), record["seq"]),
+                    op=record["op"],
+                    args=tuple(record["args"]),
+                    invoked_at=record["invoked_at"],
+                    returned_at=record["returned_at"],
+                    value=record["value"],
+                )
+            )
+    return History(operations)

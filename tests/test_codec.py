@@ -29,6 +29,7 @@ from repro.core.state_transfer import (
     SnapshotUnavailable,
 )
 from repro.net import codec
+from repro.net.chaos import ChaosAck, ChaosCommand
 from repro.types import (
     ClientId,
     Command,
@@ -183,6 +184,16 @@ STRATEGIES: dict[type, st.SearchStrategy] = {
     SnapshotChunkReply: st.builds(
         SnapshotChunkReply, epochs, slots, slots, values, sizes
     ),
+    ChaosCommand: st.builds(
+        ChaosCommand,
+        command_ids,
+        st.sampled_from(["partition", "drop", "delay", "lose", "heal", "heal_all"]),
+        names,
+        st.lists(node_ids, max_size=3).map(tuple),
+        st.lists(node_ids, max_size=3).map(tuple),
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    ),
+    ChaosAck: st.builds(ChaosAck, command_ids, node_ids, names, st.booleans()),
 }
 
 
