@@ -173,6 +173,13 @@ def _cmd_serve(args: "argparse.Namespace") -> int:
         from repro.net.chaos import install_chaos_endpoint
 
         install_chaos_endpoint(transport, args.node)
+    if not args.no_metrics:
+        from repro.net.observe import install_metrics_endpoint
+
+        # Read-only, so on by default (unlike the chaos endpoint).
+        install_metrics_endpoint(
+            transport, args.node, runtime.metrics, lambda: runtime.now
+        )
     params = ReconfigParams(engine_factory=MultiPaxosEngine.factory())
     initial_config = None
     if args.initial:
@@ -247,6 +254,85 @@ def _cmd_cluster(args: "argparse.Namespace") -> int:
     return 0
 
 
+def _cmd_metrics(args: "argparse.Namespace") -> int:
+    """Poll a live cluster's ``#metrics`` endpoints and render the snapshots.
+
+    With ``--demo``, spins up a throwaway 3-replica cluster, drives it
+    through a live reconfiguration, and renders the resulting snapshot —
+    which must show per-epoch commit counts and at least one complete
+    decided → cut → transfer → first-commit span (exit code 0 iff it does).
+    """
+    import json
+
+    from repro.net.observe import render_snapshots
+
+    def snapshot_json(snapshots) -> str:
+        return json.dumps(
+            {
+                node: {
+                    "now": s.now, "counters": s.counters, "gauges": s.gauges,
+                    "histograms": s.histograms, "spans": s.spans,
+                }
+                for node, s in sorted(snapshots.items())
+            },
+            indent=2, sort_keys=True,
+        )
+
+    if args.demo:
+        from repro.net.observe import run_metrics_demo
+
+        report = run_metrics_demo(seed=args.seed, wire=args.wire,
+                                  verbose=args.verbose)
+        for line in report.lines():
+            print(line)
+        if report.snapshots:
+            print()
+            print(render_snapshots(report.snapshots))
+        if args.json_out and report.snapshots:
+            with open(args.json_out, "w") as handle:
+                handle.write(snapshot_json(report.snapshots) + "\n")
+            print(f"snapshot JSON written to {args.json_out}")
+        return 0 if report.ok else 1
+    if not args.peers:
+        print("--peers required (or use --demo)", file=sys.stderr)
+        return 2
+    from repro.net.observe import poll_cluster
+
+    addresses = _parse_peers(args.peers)
+    fetched, errors = poll_cluster(addresses, wire_format=args.wire)
+    snapshots = {node: f.snapshot for node, f in fetched.items()}
+    if args.json:
+        print(snapshot_json(snapshots))
+    elif snapshots:
+        print(render_snapshots(snapshots))
+    if args.json_out and snapshots:
+        with open(args.json_out, "w") as handle:
+            handle.write(snapshot_json(snapshots) + "\n")
+    for error in errors:
+        print(f"note: {error}", file=sys.stderr)
+    return 0 if snapshots else 1
+
+
+def _cmd_top(args: "argparse.Namespace") -> int:
+    """Repeatedly poll a live cluster and render snapshot tables."""
+    from repro.net.observe import poll_cluster, render_snapshots
+
+    addresses = _parse_peers(args.peers)
+    for iteration in range(args.iterations):
+        if iteration:
+            time.sleep(args.interval)
+        fetched, errors = poll_cluster(addresses, wire_format=args.wire)
+        snapshots = {node: f.snapshot for node, f in fetched.items()}
+        print(f"--- poll {iteration + 1}/{args.iterations} ---")
+        if snapshots:
+            print(render_snapshots(snapshots))
+        for error in errors:
+            print(f"note: {error}", file=sys.stderr)
+        if not snapshots:
+            return 1
+    return 0
+
+
 def _cmd_chaos(args: "argparse.Namespace") -> int:
     """Seeded fault injection against a live cluster, verified.
 
@@ -272,6 +358,9 @@ def _cmd_chaos(args: "argparse.Namespace") -> int:
 
         dump_jsonl(report.history, args.history)
         print(f"history written to {args.history}")
+    if args.timeline:
+        report.write_timeline(args.timeline)
+        print(f"fault-aligned timeline written to {args.timeline}")
     if args.smoke and report.elapsed >= 60.0:
         print(f"FAIL: smoke chaos run took {report.elapsed:.1f}s (>= 60s)",
               file=sys.stderr)
@@ -317,6 +406,9 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument("--chaos", action="store_true",
                        help="expose the fault-injection admin endpoint "
                        "(transport-level partitions/drops/delay/loss)")
+    serve.add_argument("--no-metrics", action="store_true",
+                       help="do not expose the read-only #metrics endpoint "
+                       "(on by default)")
 
     cluster = sub.add_parser(
         "cluster", help="launch a live localhost cluster and drive it"
@@ -350,7 +442,41 @@ def main(argv: list[str] | None = None) -> int:
                        help="CI gate: also fail if the run takes >= 60s")
     chaos.add_argument("--history", default=None, metavar="PATH",
                        help="write the recorded client history as JSONL")
+    chaos.add_argument("--timeline", default="CHAOS_timeline.json",
+                       metavar="PATH",
+                       help="write the fault-aligned hand-off timeline as "
+                       "JSON (injections + reconfiguration span phases on "
+                       "one timebase); empty string to skip")
     chaos.add_argument("--verbose", action="store_true")
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="poll a live cluster's #metrics endpoints and render snapshots",
+    )
+    metrics.add_argument("--peers", default="",
+                         help="address book: n1=host:port,n2=host:port,...")
+    metrics.add_argument("--demo", action="store_true",
+                         help="self-contained: spin up a cluster, reconfigure "
+                         "it, and show the resulting snapshot")
+    metrics.add_argument("--json", action="store_true",
+                         help="raw snapshot JSON instead of tables")
+    metrics.add_argument("--json-out", default=None, metavar="PATH",
+                         help="also write the snapshot JSON to PATH "
+                         "(the CI artifact)")
+    metrics.add_argument("--seed", type=int, default=7)
+    metrics.add_argument("--wire", default=None, choices=["json", "binary"])
+    metrics.add_argument("--verbose", action="store_true")
+
+    top = sub.add_parser(
+        "top", help="repeatedly poll a live cluster's metrics (watch mode)"
+    )
+    top.add_argument("--peers", required=True,
+                     help="address book: n1=host:port,n2=host:port,...")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between polls")
+    top.add_argument("--iterations", type=int, default=5,
+                     help="how many polls before exiting")
+    top.add_argument("--wire", default=None, choices=["json", "binary"])
 
     bench = sub.add_parser(
         "bench", help="reproducible micro/macro benchmarks"
@@ -381,6 +507,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_cluster(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
+    if args.command == "top":
+        return _cmd_top(args)
     if args.command == "bench":
         if args.bench_target != "wire":
             bench.print_help()

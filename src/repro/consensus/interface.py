@@ -29,6 +29,7 @@ from repro.sim.node import Process
 from repro.types import Decision, Membership, NodeId, Time
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.metrics.registry import MetricsRegistry
     from repro.sim.rng import SeededRng
 
 
@@ -99,6 +100,13 @@ class Transport:
     @property
     def now(self) -> Time:
         return self._host.now
+
+    @property
+    def metrics(self) -> "MetricsRegistry":
+        """The host runtime's metrics registry (shared by every engine)."""
+        from repro.metrics.registry import metrics_of
+
+        return metrics_of(self._host.sim)
 
     def send(self, dest: NodeId, inner: Any, size: int | None = None) -> None:
         self._host.send(dest, InstanceMessage(self.instance_id, inner), size=size)

@@ -134,6 +134,14 @@ class MultiPaxosEngine(SmrEngine):
         #: follower -> newest heartbeat send-time it acknowledged.
         self._hb_echoes: dict[NodeId, float] = {}
         self._last_leader_contact = float("-inf")
+        # Commit-path instruments, shared with every engine on this host's
+        # runtime (per-process in live clusters, cluster-wide in the sim).
+        metrics = transport.metrics
+        self._m_proposals = metrics.counter("paxos.proposals")
+        self._m_accepts = metrics.counter("paxos.accepts_sent")
+        self._m_decided = metrics.counter("paxos.decided")
+        self._m_campaigns = metrics.counter("paxos.campaigns")
+        self._m_elections = metrics.counter("paxos.elections")
         if self.params.lease_duration >= self.params.suspect_timeout_min:
             raise ConfigurationError(
                 "lease_duration must be strictly below suspect_timeout_min "
@@ -187,6 +195,7 @@ class MultiPaxosEngine(SmrEngine):
     def propose(self, payload: Any) -> None:
         if self.stopped:
             return
+        self._m_proposals.inc()
         key = proposal_key(payload)
         if key is not None:
             if key in self.awaiting or self._key_settled(key):
@@ -283,6 +292,7 @@ class MultiPaxosEngine(SmrEngine):
         for peer in self.peers:
             if only is not None and peer not in only:
                 continue
+            self._m_accepts.inc()
             if peer == self.transport.node:
                 self._handle_accept(accept, peer)
             else:
@@ -294,6 +304,7 @@ class MultiPaxosEngine(SmrEngine):
         if self.stopped or self.is_leader:
             return
         self._campaigning = True
+        self._m_campaigns.inc()
         round_number = self.max_round_seen + 1
         self.max_round_seen = round_number
         self.ballot = Ballot(round_number, self.transport.node)
@@ -312,6 +323,7 @@ class MultiPaxosEngine(SmrEngine):
     def _become_leader(self) -> None:
         self._campaigning = False
         self.is_leader = True
+        self._m_elections.inc()
         self.leader_hint = self.transport.node
         self._monitor.stop()
         self.transport.trace("leader-elected", ballot=str(self.ballot))
@@ -527,6 +539,8 @@ class MultiPaxosEngine(SmrEngine):
 
     def _record_decision(self, slot: Slot, value: Any) -> None:
         released = self.log.record(slot, value, self.transport.now)
+        if released:
+            self._m_decided.inc(len(released))
         inner = value.payloads if isinstance(value, Batch) else (value,)
         for payload in inner:
             key = proposal_key(payload)

@@ -27,6 +27,10 @@ class EpochRuntime:
     engine_started: bool = False
     #: effective-log entries delivered in order so far (payloads).
     effective: list[Any] = field(default_factory=list)
+    #: local time each effective entry was decided at (parallel to
+    #: ``effective``); execution lag = execute time - decided time, the
+    #: window speculative pipelining holds a command un-executable.
+    decided_at: list[float] = field(default_factory=list)
     #: slot of the first ReconfigCommand decided, once known.
     cut_slot: Slot | None = None
     #: next configuration (set when sealed).

@@ -61,6 +61,7 @@ from repro.core.state_transfer import (
 )
 from repro.core.statemachine import DedupStateMachine, StateMachine
 from repro.errors import ProtocolError
+from repro.metrics.registry import SPAN_RECONFIG, metrics_of
 from repro.sim.node import Process
 from repro.types import (
     Command,
@@ -215,6 +216,17 @@ class ReconfigurableReplica(Process):
         self.committed: list[tuple[Any, EpochId, int]] = []
         self.lease_reads = 0
 
+        self.metrics = metrics_of(sim)
+        self._commits_total = self.metrics.counter("smr.commits")
+        self._orphans = self.metrics.counter("smr.orphans")
+        self._exec_lag = self.metrics.histogram("smr.exec_lag")
+        self._epoch_commits: dict[EpochId, Any] = {}
+        #: the epoch this replica was bootstrapped into (no reconfiguration
+        #: created it, so it gets no reconfiguration span).
+        self._genesis_epoch: EpochId | None = (
+            initial_config.epoch if initial_config is not None else None
+        )
+
         if initial_config is not None:
             if node not in initial_config.members:
                 raise ProtocolError(
@@ -243,6 +255,32 @@ class ReconfigurableReplica(Process):
 
     def epoch_runtime(self, epoch: EpochId) -> EpochRuntime | None:
         return self.chain.get(epoch)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def _span(self, epoch: EpochId, phase: str) -> None:
+        """Mark one phase of the reconfiguration span producing ``epoch``.
+
+        The span id is the *new* epoch: decided/cut fire while sealing
+        ``epoch - 1``, transfer when ``epoch``'s boundary state becomes
+        available, first-commit when ``epoch`` executes its first entry.
+        The genesis epoch was not produced by a reconfiguration, so it
+        gets no span.
+        """
+        if epoch == self._genesis_epoch:
+            return
+        self.metrics.span_event(SPAN_RECONFIG, epoch, phase, self.now)
+
+    def _count_commit(self, epoch: EpochId) -> None:
+        self._commits_total.inc()
+        counter = self._epoch_commits.get(epoch)
+        if counter is None:
+            counter = self._epoch_commits[epoch] = self.metrics.counter(
+                f"smr.commits.epoch.{epoch}"
+            )
+        counter.inc()
 
     # ------------------------------------------------------------------
     # Epoch chain management
@@ -323,6 +361,7 @@ class ReconfigurableReplica(Process):
         runtime = self.chain[epoch]
         if runtime.sealed and decision.slot > runtime.cut_slot:
             runtime.orphaned += 1
+            self._orphans.inc()
             self._repropose_orphan(decision.payload)
             return
         if decision.slot < len(runtime.effective):
@@ -347,6 +386,7 @@ class ReconfigurableReplica(Process):
         """Append one entry to an epoch's effective log (engine or observed)."""
         epoch = runtime.config.epoch
         runtime.effective.append(payload)
+        runtime.decided_at.append(self.now)
         if self.order_listener is not None:
             self.order_listener(self.now, payload, epoch, slot)
         if self._observers:
@@ -355,6 +395,7 @@ class ReconfigurableReplica(Process):
             for observer in self._observers:
                 self.send(observer, update, size=size)
         if isinstance(payload, ReconfigCommand) and not runtime.sealed:
+            self._span(epoch + 1, "decided")
             self._seal_epoch(runtime, slot, payload)
 
     def _seal_epoch(
@@ -364,6 +405,7 @@ class ReconfigurableReplica(Process):
         next_config = Configuration(runtime.config.epoch + 1, command.new_members)
         runtime.next_config = next_config
         self._sealed_cids.add(command.cid)
+        self._span(next_config.epoch, "cut")
         self.trace(
             "epoch-seal",
             epoch=runtime.config.epoch,
@@ -460,8 +502,13 @@ class ReconfigurableReplica(Process):
                 self._initialise_state(runtime)
             while runtime.executed < len(runtime.effective):
                 payload = runtime.effective[runtime.executed]
+                self._exec_lag.record(
+                    self.now - runtime.decided_at[runtime.executed]
+                )
                 runtime.executed += 1
                 self._execute(payload, runtime.config.epoch)
+                if runtime.executed == 1:
+                    self._span(runtime.config.epoch, "first-commit")
             if runtime.fully_executed:
                 self._finish_epoch(runtime)
                 continue
@@ -493,6 +540,7 @@ class ReconfigurableReplica(Process):
         else:
             value = None  # Noop filler
         self.committed.append((payload, epoch, vindex))
+        self._count_commit(epoch)
         if self.commit_listener is not None:
             self.commit_listener(self.now, payload, epoch, vindex, value)
 
@@ -517,6 +565,7 @@ class ReconfigurableReplica(Process):
         if next_runtime is not None and not next_runtime.start_state_ready:
             next_runtime.start_state = boundary
             next_runtime.start_state_ready = True
+            self._span(epoch + 1, "transfer")
             if self._transfer is not None and self._transfer.epoch == epoch + 1:
                 self._transfer.done = True
         self.exec_epoch = epoch + 1
@@ -600,6 +649,7 @@ class ReconfigurableReplica(Process):
             return
         runtime.start_state = reply.snapshot
         runtime.start_state_ready = True
+        self._span(reply.epoch, "transfer")
         if self._transfer is not None and self._transfer.epoch == reply.epoch:
             self._transfer.done = True
         self.trace("transfer-done", epoch=reply.epoch, bytes=reply.snapshot_bytes)
@@ -662,6 +712,7 @@ class ReconfigurableReplica(Process):
         if reply.index == reply.total_chunks - 1:
             runtime.start_state = reply.snapshot
             runtime.start_state_ready = True
+            self._span(reply.epoch, "transfer")
             task.done = True
             self.trace(
                 "transfer-done",
@@ -753,6 +804,7 @@ class ReconfigurableReplica(Process):
             if config.epoch == msg.start_epoch and not runtime.start_state_ready:
                 runtime.start_state = msg.boundary
                 runtime.start_state_ready = True
+                self._span(config.epoch, "transfer")
             for slot, payload in enumerate(entries):
                 self._observe_entry(config, slot, payload)
         self._observer_bootstrapped = True

@@ -22,6 +22,7 @@ from repro.core.reconfig import (
 from repro.core.runtime import Runtime
 from repro.core.statemachine import StateMachine
 from repro.errors import ConfigurationError
+from repro.metrics.registry import metrics_of
 from repro.types import (
     ClientId,
     CommandId,
@@ -155,6 +156,7 @@ class ReplicatedService:
             replica = self.replicas.get(node)
             if replica is not None and not replica.crashed:
                 replica.request_reconfiguration(command)
+        metrics_of(self.sim).counter("service.reconfigure_requests").inc()
         self.sim.trace.emit(
             self.sim.now, "service", "reconfigure", cid=str(cid), to=str(membership)
         )

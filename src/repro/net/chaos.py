@@ -32,15 +32,18 @@ Wing–Gong linearizability checker the simulator uses. Exposed as the
 
 from __future__ import annotations
 
+import json
 import random
 import socket
 import threading
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterable
 
 from repro.net import codec
 from repro.net.client import LiveClient, LiveClientError
+from repro.net.observe import poll_cluster, reconfig_spans
 from repro.net.transport import LinkPolicy, TcpTransport
 from repro.sim.failures import (
     CrashAt,
@@ -228,6 +231,10 @@ class ChaosController:
         self._seq = 0
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
+        #: monotonic instant :meth:`run` started — every ``applied_at``
+        #: offset in the log (and any aligned metrics span) is relative
+        #: to this, so it is the run's shared timebase.
+        self.t0: float | None = None
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -247,7 +254,7 @@ class ChaosController:
 
     def run(self) -> list[Injection]:
         """Execute the whole plan; blocking. Returns the injection log."""
-        t0 = time.monotonic()
+        t0 = self.t0 = time.monotonic()
         for action in self.plan:
             delay = t0 + action.time - time.monotonic()
             if delay > 0 and self._stop.wait(delay):
@@ -453,6 +460,58 @@ class ChaosReport:
     seed: int
     log_dir: str
     errors: list[str] = field(default_factory=list)
+    #: reconfiguration spans fetched from the replicas' #metrics
+    #: endpoints, clock-aligned onto the injection log's timebase:
+    #: node -> new-epoch id -> phase -> seconds from controller start.
+    spans: dict[str, dict[str, dict[str, float]]] = field(default_factory=dict)
+
+    def span_overlaps(self, at: float) -> list[str]:
+        """Spans in flight at offset ``at`` (``node:epoch`` labels).
+
+        A span is "in flight" between its earliest and latest recorded
+        phase — for a complete span, decided through first-commit. This
+        is what annotates each injection with the hand-offs it landed in
+        the middle of.
+        """
+        return [
+            f"{node}:epoch {epoch}"
+            for node, per_epoch in sorted(self.spans.items())
+            for epoch, phases in sorted(per_epoch.items())
+            if phases and min(phases.values()) <= at <= max(phases.values())
+        ]
+
+    def timeline(self) -> list[dict]:
+        """Injections and span phases merged into one ordered event list."""
+        events: list[dict] = []
+        for node, per_epoch in sorted(self.spans.items()):
+            for epoch, phases in sorted(per_epoch.items()):
+                for phase, at in sorted(phases.items(), key=lambda kv: kv[1]):
+                    events.append({
+                        "at": round(at, 4), "kind": "span",
+                        "node": node, "epoch": epoch, "phase": phase,
+                    })
+        for injection in self.injections:
+            events.append({
+                "at": round(injection.applied_at, 4), "kind": "injection",
+                "action": type(injection.action).__name__,
+                "detail": str(injection.action),
+                "scheduled_at": injection.scheduled_at,
+                "overlapping_spans": self.span_overlaps(injection.applied_at),
+            })
+        events.sort(key=lambda event: event["at"])
+        return events
+
+    def write_timeline(self, path: Any) -> None:
+        """Write the fault-aligned timeline as JSON (next to BENCH_wire.json)."""
+        payload = {
+            "seed": self.seed,
+            "elapsed": round(self.elapsed, 3),
+            "final_members": list(self.final_members),
+            "reconfigured": self.reconfigured,
+            "linearizable": self.linearizable.ok,
+            "events": self.timeline(),
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")
 
     def lines(self) -> list[str]:
         """Human-readable summary (one string per line)."""
@@ -462,11 +521,21 @@ class ChaosReport:
             "injection log:",
         ]
         for injection in self.injections:
+            during = self.span_overlaps(injection.applied_at)
             out.append(
                 f"  t={injection.applied_at:6.2f}s "
                 f"(scheduled {injection.scheduled_at:.2f}s) "
                 f"{type(injection.action).__name__} {injection.action}"
+                + (f"  [during hand-off: {', '.join(during)}]" if during else "")
             )
+        for node, per_epoch in sorted(self.spans.items()):
+            for epoch, phases in sorted(per_epoch.items()):
+                marks = " ".join(
+                    f"{phase}@{phases[phase]:.2f}s"
+                    for phase in ("decided", "cut", "transfer", "first-commit")
+                    if phase in phases
+                )
+                out.append(f"  span {node} -> epoch {epoch}: {marks}")
         completed = len(self.history.completed)
         pending = len(self.history.pending)
         out.append(
@@ -574,6 +643,26 @@ def run_chaos_scenario(
                 recorder.submit("get", (f"k{i}",), size=32, deadline=15.0)
         controller.stop()
         controller.join(timeout=30.0)
+        # While the replicas are still up, pull their #metrics snapshots
+        # and align every reconfiguration span onto the injection log's
+        # timebase (seconds from controller start) — the fault-aligned
+        # hand-off timeline ISSUE 4 asks for.
+        controller_t0 = controller.t0 if controller.t0 is not None else started
+        live = [name for name, proc in cluster.procs.items() if proc.poll() is None]
+        fetched, fetch_errors = poll_cluster(
+            cluster.addresses, live, wire_format=wire
+        )
+        aligned_spans: dict[str, dict[str, dict[str, float]]] = {}
+        for node, snap in fetched.items():
+            node_spans = reconfig_spans(snap.snapshot)
+            if node_spans:
+                aligned_spans[node] = {
+                    epoch: {
+                        phase: snap.local_time(at) - controller_t0
+                        for phase, at in phases.items()
+                    }
+                    for epoch, phases in node_spans.items()
+                }
     history = recorder.history()
     result = check_kv_linearizable(history)
     return ChaosReport(
@@ -586,5 +675,6 @@ def run_chaos_scenario(
         elapsed=time.monotonic() - started,
         seed=seed,
         log_dir=str(cluster.log_dir),
-        errors=list(controller.errors),
+        errors=list(controller.errors) + fetch_errors,
+        spans=aligned_spans,
     )

@@ -123,6 +123,7 @@ def _bootstrap() -> None:
     from repro.core import reconfig as rc
     from repro.core import state_transfer as st
     from repro.net import chaos as ch
+    from repro.net import observe as ob
 
     protocol: Iterable[type] = (
         # shared primitives
@@ -171,6 +172,9 @@ def _bootstrap() -> None:
         # fault-injection admin protocol (serve --chaos only)
         ch.ChaosCommand,
         ch.ChaosAck,
+        # observability admin protocol (the #metrics endpoint)
+        ob.MetricsRequest,
+        ob.MetricsSnapshot,
     )
     for cls in protocol:
         register(cls)

@@ -1,0 +1,481 @@
+"""Live-cluster observability: the ``#metrics`` admin endpoint.
+
+Each ``repro serve`` process registers a **metrics endpoint**
+(``<node>#metrics``) on its transport, mirroring the ``#chaos`` pattern:
+a :class:`MetricsRequest` frame gets back one :class:`MetricsSnapshot`
+carrying the replica's whole :class:`~repro.metrics.registry.MetricsRegistry`
+— counters, gauges, histogram summaries, and reconfiguration spans — plus
+the replica's local clock, which lets a poller align span timestamps from
+different replicas onto its own timeline (see :class:`FetchedSnapshot`).
+
+Unlike ``#chaos`` the endpoint is **on by default** (``serve
+--no-metrics`` to disable): it is read-only and mutates nothing, so
+exposing it carries none of the fault-injection risk that keeps the chaos
+endpoint behind an opt-in flag.
+
+:func:`fetch_metrics` is the client side (one raw socket, request/reply,
+same frame loop as :meth:`ChaosController._push`); :func:`poll_cluster`
+fans it out over an address book. :func:`run_metrics_demo` closes the
+loop for CI and the acceptance test: a live 3-replica cluster, a
+workload, one reconfiguration, and a fetched snapshot asserted to show
+per-epoch commit counts and a complete decided → cut → transfer →
+first-commit span.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+from repro.errors import ReproError
+from repro.metrics.registry import (
+    RECONFIG_PHASES,
+    SPAN_RECONFIG,
+    MetricsRegistry,
+    reconfig_span_complete,
+    span_width,
+)
+from repro.metrics.report import Table
+from repro.net import codec
+from repro.types import ClientId, CommandId, NodeId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.transport import Address, TcpTransport
+
+#: suffix distinguishing a replica's metrics endpoint from the replica.
+METRICS_SUFFIX = "#metrics"
+
+#: counter-name prefix of the per-epoch commit counters (suffix = epoch).
+EPOCH_COMMITS_PREFIX = "smr.commits.epoch."
+
+
+class MetricsFetchError(ReproError):
+    """A ``#metrics`` request got no snapshot back in time."""
+
+
+def metrics_endpoint(node: str) -> NodeId:
+    """Transport endpoint id of ``node``'s metrics handler."""
+    return NodeId(f"{node}{METRICS_SUFFIX}")
+
+
+# ---------------------------------------------------------------------------
+# Wire protocol (registered in repro.net.codec's bootstrap)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class MetricsRequest:
+    """Poller -> replica: send me your registry snapshot."""
+
+    cid: CommandId
+
+
+@dataclass(frozen=True, slots=True)
+class MetricsSnapshot:
+    """Replica -> poller: one registry snapshot, plus the local clock.
+
+    ``now`` is the replica's runtime clock (seconds since its process
+    started) at snapshot time — the timebase every span timestamp and
+    histogram sample in the snapshot was recorded against. Dict fields
+    hold only wire-native values (str keys; int/float/nested-dict
+    values), exactly as :meth:`MetricsRegistry.snapshot` emits them.
+    """
+
+    cid: CommandId
+    node: NodeId
+    now: float
+    counters: dict[str, int]
+    gauges: dict[str, float]
+    histograms: dict[str, dict[str, float]]
+    spans: dict[str, dict[str, float]]
+
+
+def install_metrics_endpoint(
+    transport: "TcpTransport",
+    node: str,
+    registry: MetricsRegistry,
+    clock: Callable[[], float],
+) -> NodeId:
+    """Register ``node``'s metrics endpoint on its transport.
+
+    Read-only: the handler snapshots the registry and replies over the
+    requester's reply route. Replica/protocol code cannot see it, same
+    honesty rule as the chaos endpoint.
+    """
+    endpoint = metrics_endpoint(node)
+
+    def handle(message: Any) -> None:
+        request = message.payload
+        if not isinstance(request, MetricsRequest):
+            return
+        snap = registry.snapshot()
+        transport.send(
+            endpoint,
+            message.sender,
+            MetricsSnapshot(
+                request.cid,
+                NodeId(str(node)),
+                clock(),
+                snap["counters"],
+                snap["gauges"],
+                snap["histograms"],
+                snap["spans"],
+            ),
+        )
+
+    transport.register(endpoint, handle)
+    return endpoint
+
+
+# ---------------------------------------------------------------------------
+# Client side: fetch + clock alignment
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class FetchedSnapshot:
+    """A snapshot plus the local monotonic instant it was received.
+
+    Replica clocks all start at their own process start, so raw span
+    times from two replicas are not comparable. ``replica_t0``
+    reconstructs the replica's clock origin on the *poller's* monotonic
+    timeline (fetch instant minus the replica's reported ``now``, so it
+    overshoots by the reply's flight time — well under the schedule
+    granularity chaos timelines care about). ``local_time`` then maps
+    any replica-clock timestamp in the snapshot onto the poller's
+    timeline, which is what lets the chaos report align spans from
+    different replicas against its injection log.
+    """
+
+    snapshot: MetricsSnapshot
+    fetched_at: float
+
+    @property
+    def replica_t0(self) -> float:
+        return self.fetched_at - self.snapshot.now
+
+    def local_time(self, replica_time: float) -> float:
+        return self.replica_t0 + replica_time
+
+
+def fetch_metrics(
+    address: "Address",
+    replica: str,
+    *,
+    sender: str = "metrics-cli",
+    seq: int = 1,
+    timeout: float = 2.0,
+    wire_format: str | None = None,
+) -> FetchedSnapshot:
+    """Fetch one replica's snapshot over a raw socket; blocking.
+
+    Raises :class:`MetricsFetchError` if the replica is unreachable or
+    does not answer within ``timeout``.
+    """
+    cid = CommandId(ClientId(sender), seq)
+    request = MetricsRequest(cid)
+    fmt = codec.DEFAULT_WIRE_FORMAT if wire_format is None else wire_format
+    try:
+        with socket.create_connection(address, timeout=timeout) as sock:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            sock.sendall(
+                codec.encode_frame(
+                    NodeId(sender), metrics_endpoint(replica), request, fmt
+                )
+            )
+            buffer = b""
+            give_up_at = time.monotonic() + timeout
+            while True:
+                while len(buffer) >= 4:
+                    length = codec.frame_length(buffer[:4])
+                    if len(buffer) < 4 + length:
+                        break
+                    body = buffer[4 : 4 + length]
+                    buffer = buffer[4 + length :]
+                    _, _, payload = codec.decode_frame_body(body)
+                    if (
+                        isinstance(payload, MetricsSnapshot)
+                        and payload.cid == cid
+                    ):
+                        return FetchedSnapshot(payload, time.monotonic())
+                remaining = give_up_at - time.monotonic()
+                if remaining <= 0:
+                    raise MetricsFetchError(
+                        f"{replica}: no metrics snapshot within {timeout}s"
+                    )
+                sock.settimeout(max(remaining, 0.01))
+                chunk = sock.recv(65536)
+                if not chunk:
+                    raise MetricsFetchError(
+                        f"{replica}: connection closed before snapshot"
+                    )
+                buffer += chunk
+    except (OSError, codec.CodecError) as exc:
+        raise MetricsFetchError(f"{replica}: metrics fetch failed: {exc}") from exc
+
+
+def poll_cluster(
+    addresses: dict[str, "Address"],
+    replicas: Iterable[str] | None = None,
+    *,
+    timeout: float = 2.0,
+    wire_format: str | None = None,
+) -> tuple[dict[str, FetchedSnapshot], list[str]]:
+    """Fetch snapshots from every named replica; tolerate the unreachable.
+
+    Returns ``(snapshots by node, error strings)`` — a dead replica
+    becomes an error line, not an exception, because a poller's whole
+    point is observing clusters that are partially down.
+    """
+    targets = list(replicas) if replicas is not None else sorted(addresses)
+    snapshots: dict[str, FetchedSnapshot] = {}
+    errors: list[str] = []
+    for i, name in enumerate(targets):
+        try:
+            snapshots[name] = fetch_metrics(
+                addresses[name], name, seq=i + 1,
+                timeout=timeout, wire_format=wire_format,
+            )
+        except MetricsFetchError as exc:
+            errors.append(str(exc))
+    return snapshots, errors
+
+
+# ---------------------------------------------------------------------------
+# Snapshot digestion + rendering
+# ---------------------------------------------------------------------------
+
+
+def epoch_commit_counts(snapshot: MetricsSnapshot) -> dict[int, int]:
+    """Per-epoch commit counts from the snapshot's counters."""
+    counts: dict[int, int] = {}
+    for name, value in snapshot.counters.items():
+        if name.startswith(EPOCH_COMMITS_PREFIX):
+            try:
+                counts[int(name[len(EPOCH_COMMITS_PREFIX):])] = int(value)
+            except ValueError:  # pragma: no cover - foreign counter name
+                continue
+    return counts
+
+
+def reconfig_spans(snapshot: MetricsSnapshot) -> dict[str, dict[str, float]]:
+    """The snapshot's reconfiguration spans, keyed by new-epoch id."""
+    prefix = f"{SPAN_RECONFIG}/"
+    return {
+        key[len(prefix):]: phases
+        for key, phases in snapshot.spans.items()
+        if key.startswith(prefix)
+    }
+
+
+def complete_reconfig_spans(
+    snapshot: MetricsSnapshot,
+) -> dict[str, dict[str, float]]:
+    """Only the spans carrying all four phases (decided ... first-commit)."""
+    return {
+        epoch: phases
+        for epoch, phases in reconfig_spans(snapshot).items()
+        if reconfig_span_complete(phases)
+    }
+
+
+def snapshot_tables(snapshots: dict[str, MetricsSnapshot]) -> list[Table]:
+    """Render fetched snapshots as paper-style tables (one set per poll).
+
+    Counters and gauges go into one wide table with a column per replica
+    so cross-replica skew (a lagging follower, a partitioned node) is
+    visible at a glance; histograms and spans get per-metric rows.
+    """
+    nodes = sorted(snapshots)
+    tables: list[Table] = []
+
+    names: list[str] = sorted({n for s in snapshots.values() for n in s.counters})
+    counters = Table("counters", ["counter", *nodes])
+    for name in names:
+        counters.add_row(
+            name, *(snapshots[node].counters.get(name, 0) for node in nodes)
+        )
+    tables.append(counters)
+
+    gauge_names = sorted({n for s in snapshots.values() for n in s.gauges})
+    if gauge_names:
+        gauges = Table("gauges", ["gauge", *nodes])
+        for name in gauge_names:
+            gauges.add_row(
+                name,
+                *(f"{snapshots[node].gauges.get(name, 0.0):.3f}" for node in nodes),
+            )
+        tables.append(gauges)
+
+    histograms = Table(
+        "histograms",
+        ["histogram", "node", "count", "mean", "p50", "p95", "p99", "max"],
+    )
+    hist_rows = 0
+    for node in nodes:
+        for name, summary in sorted(snapshots[node].histograms.items()):
+            if not summary.get("count"):
+                continue
+            hist_rows += 1
+            histograms.add_row(
+                name, node, int(summary["count"]),
+                f"{summary['mean'] * 1e3:.2f}ms", f"{summary['p50'] * 1e3:.2f}ms",
+                f"{summary['p95'] * 1e3:.2f}ms", f"{summary['p99'] * 1e3:.2f}ms",
+                f"{summary['max'] * 1e3:.2f}ms",
+            )
+    if hist_rows:
+        tables.append(histograms)
+
+    spans = Table(
+        "reconfiguration spans",
+        ["node", "epoch", *RECONFIG_PHASES, "width"],
+    )
+    span_rows = 0
+    for node in nodes:
+        for epoch, phases in sorted(reconfig_spans(snapshots[node]).items()):
+            span_rows += 1
+            width = span_width(phases)
+            spans.add_row(
+                node, epoch,
+                *(
+                    f"{phases[p]:.3f}" if p in phases else "-"
+                    for p in RECONFIG_PHASES
+                ),
+                f"{width * 1e3:.1f}ms" if width is not None else "incomplete",
+            )
+    if span_rows:
+        tables.append(spans)
+    return tables
+
+
+def render_snapshots(snapshots: dict[str, MetricsSnapshot]) -> str:
+    return "\n\n".join(table.render() for table in snapshot_tables(snapshots))
+
+
+# ---------------------------------------------------------------------------
+# The demo: live cluster -> reconfigure -> snapshot with a complete span
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class MetricsDemoReport:
+    """Outcome of one :func:`run_metrics_demo` run."""
+
+    ok: bool
+    snapshots: dict[str, MetricsSnapshot]
+    #: per-node per-epoch commit counts, from the snapshots.
+    epoch_commits: dict[str, dict[int, int]]
+    #: per-node complete reconfiguration spans (epoch id -> phases).
+    complete_spans: dict[str, dict[str, dict[str, float]]]
+    final_members: tuple[str, ...]
+    elapsed: float
+    seed: int
+    log_dir: str
+    errors: list[str] = field(default_factory=list)
+
+    def lines(self) -> list[str]:
+        out = [
+            f"metrics demo: seed={self.seed} elapsed={self.elapsed:.1f}s "
+            f"members={','.join(self.final_members)} "
+            f"(replica logs: {self.log_dir})"
+        ]
+        for node in sorted(self.epoch_commits):
+            per_epoch = ", ".join(
+                f"epoch {e}: {c}" for e, c in sorted(self.epoch_commits[node].items())
+            )
+            out.append(f"  {node} commits: {per_epoch or '(none)'}")
+        for node in sorted(self.complete_spans):
+            for epoch, phases in sorted(self.complete_spans[node].items()):
+                width = span_width(phases)
+                out.append(
+                    f"  {node} reconfig span -> epoch {epoch}: complete, "
+                    f"handoff {width * 1e3:.1f}ms"
+                )
+        out.extend(f"  note: {error}" for error in self.errors)
+        out.append("verdict: " + ("OK" if self.ok else "INCOMPLETE"))
+        return out
+
+
+def run_metrics_demo(
+    *,
+    replicas: int = 3,
+    seed: int = 7,
+    wire: str | None = None,
+    log_dir: Any = None,
+    ops_per_phase: int = 40,
+    verbose: bool = False,
+) -> MetricsDemoReport:
+    """Drive a live cluster through a reconfiguration and snapshot it.
+
+    Starts ``replicas`` members plus one warm joiner, runs a keyed
+    workload, reconfigures the first member out (survivors hand the
+    boundary over locally, so they record the full decided → cut →
+    transfer → first-commit span), keeps the workload going so the new
+    epoch commits, then fetches every survivor's ``#metrics`` snapshot.
+    ``ok`` iff some survivor shows commits in two epochs **and** a
+    complete reconfiguration span — the ISSUE 4 acceptance criterion.
+    """
+    from repro.net.client import LiveClient, LiveClientError
+    from repro.net.cluster import LocalCluster
+
+    started = time.monotonic()
+    errors: list[str] = []
+    cluster = LocalCluster(
+        replicas=replicas, reserve=1, seed=seed, wire=wire,
+        log_dir=log_dir, verbose=verbose,
+    )
+    with cluster:
+        cluster.start(timeout=20.0)
+        joiner = cluster.reserved()[0]
+        cluster.spawn(joiner)
+        cluster.wait_ready([joiner], timeout=15.0)
+        retiree, survivors = cluster.initial[0], cluster.initial[1:]
+        target_members = (*survivors, joiner)
+
+        rng = random.Random(seed)
+        with LiveClient(
+            "metrics-demo", cluster.addresses, view=cluster.initial,
+            request_timeout=1.0, wire_format=wire,
+        ) as client:
+            for i in range(ops_per_phase):
+                client.submit("set", (f"k{rng.randrange(8)}", i), deadline=10.0)
+            try:
+                client.reconfigure(target_members, deadline=25.0)
+            except LiveClientError as exc:
+                errors.append(f"reconfigure: {exc}")
+            for i in range(ops_per_phase):
+                client.submit(
+                    "set", (f"k{rng.randrange(8)}", ops_per_phase + i),
+                    deadline=10.0,
+                )
+
+        fetched, fetch_errors = poll_cluster(
+            cluster.addresses, target_members, wire_format=wire
+        )
+        errors.extend(fetch_errors)
+
+    snapshots = {node: f.snapshot for node, f in fetched.items()}
+    epoch_commits = {n: epoch_commit_counts(s) for n, s in snapshots.items()}
+    complete = {
+        n: spans
+        for n, s in snapshots.items()
+        if (spans := complete_reconfig_spans(s))
+    }
+    ok = bool(complete) and any(
+        len([c for c in counts.values() if c > 0]) >= 2
+        for counts in epoch_commits.values()
+    )
+    return MetricsDemoReport(
+        ok=ok,
+        snapshots=snapshots,
+        epoch_commits=epoch_commits,
+        complete_spans=complete,
+        final_members=target_members,
+        elapsed=time.monotonic() - started,
+        seed=seed,
+        log_dir=str(cluster.log_dir),
+        errors=errors,
+    )

@@ -20,6 +20,7 @@ import sys
 from typing import Any, Callable
 
 from repro.errors import SimulationError
+from repro.metrics.registry import MetricsRegistry
 from repro.net.transport import TcpTransport
 from repro.sim.rng import SeededRng
 from repro.sim.trace import TraceLog, TraceRecord
@@ -77,6 +78,11 @@ class LiveRuntime:
         self._processes: dict[NodeId, Any] = {}
         self._started = False
         self.events_executed = 0
+        # One registry per replica process: the transport, every consensus
+        # engine and the reconfigurable replica all record into it, and the
+        # #metrics endpoint snapshots it.
+        self.metrics = MetricsRegistry()
+        transport.bind_metrics(self.metrics)
         transport.bind_clock(lambda: self.now)
         # Reconnect jitter and link-loss draws come from seed-derived RNGs,
         # so a seeded chaos run reproduces its transport-level timing. An

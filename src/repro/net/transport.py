@@ -42,6 +42,7 @@ import random
 import traceback
 from typing import Any, Callable
 
+from repro.metrics.registry import MetricsRegistry
 from repro.net import codec
 from repro.sim.network import Message, NetworkStats
 from repro.types import NodeId
@@ -182,6 +183,7 @@ class PeerConnection:
         self.queue: asyncio.Queue[bytes] = asyncio.Queue(maxsize=queue_limit)
         self.task: asyncio.Task | None = None
         self.connected = False
+        self.ever_connected = False
         self.dropped = 0
         #: frames handed to the socket / write+drain batches flushed —
         #: ``frames_sent / batches_sent`` is the realised coalescing factor.
@@ -200,6 +202,7 @@ class PeerConnection:
                     self.queue.get_nowait()
                     self.dropped += 1
                     self.transport.stats.messages_dropped += 1
+                    self.transport._m_frames_dropped.inc()
                 except asyncio.QueueEmpty:  # pragma: no cover - race window
                     pass
 
@@ -219,6 +222,9 @@ class PeerConnection:
             try:
                 _, writer = await asyncio.open_connection(*self.address)
                 self.connected = True
+                if self.ever_connected:
+                    self.transport._m_reconnects.inc()
+                self.ever_connected = True
                 backoff = self.transport.reconnect_min
                 while not self._closing:
                     # Coalesce: take everything queued right now (bounded by
@@ -240,6 +246,9 @@ class PeerConnection:
                     await writer.drain()
                     self.frames_sent += len(batch)
                     self.batches_sent += 1
+                    self.transport._m_frames_flushed.inc(len(batch))
+                    self.transport._m_batches_flushed.inc()
+                    self.transport._m_bytes_flushed.inc(size)
                     batch = []
             except (ConnectionError, OSError, asyncio.IncompleteReadError):
                 pass
@@ -251,6 +260,7 @@ class PeerConnection:
                     # silently (delivery is not known, so count as dropped).
                     self.dropped += len(batch)
                     self.transport.stats.messages_dropped += len(batch)
+                    self.transport._m_frames_dropped.inc(len(batch))
                 if writer is not None:
                     writer.close()
             if self._closing:
@@ -313,6 +323,11 @@ class TcpTransport:
         self.rng: random.Random | Any = rng if rng is not None else random
         self._rng_bound = rng is not None
         self.stats = NetworkStats()
+        #: observability registry. A private default keeps standalone
+        #: transports (tests, tools) instrumented; :meth:`bind_metrics`
+        #: swaps in the runtime's shared registry before serving.
+        self.metrics = MetricsRegistry()
+        self._bind_instruments()
         self._endpoints: dict[NodeId, Callable[[Message], None]] = {}
         self._peers: dict[NodeId, PeerConnection] = {}
         #: reply routes for unconfigured senders (clients/admin tools):
@@ -337,6 +352,36 @@ class TcpTransport:
         if not self._rng_bound:
             self.rng = rng
             self._rng_bound = True
+
+    def bind_metrics(self, registry: MetricsRegistry) -> None:
+        """Runtime wiring: share the runtime's registry (same pattern as
+        :meth:`bind_clock`). Counters accumulated on the private default
+        registry before binding are not migrated — runtimes bind before
+        serving, so nothing has counted yet."""
+        self.metrics = registry
+        self._bind_instruments()
+
+    def _bind_instruments(self) -> None:
+        """(Re)cache counter handles against the current registry."""
+        metrics = self.metrics
+        self._m_frames_sent = metrics.counter("net.frames_sent")
+        self._m_bytes_sent = metrics.counter("net.bytes_sent")
+        self._m_frames_delivered = metrics.counter("net.frames_delivered")
+        self._m_frames_dropped = metrics.counter("net.frames_dropped")
+        self._m_frames_flushed = metrics.counter("net.frames_flushed")
+        self._m_batches_flushed = metrics.counter("net.batches_flushed")
+        self._m_bytes_flushed = metrics.counter("net.bytes_flushed")
+        self._m_reconnects = metrics.counter("net.reconnects")
+        metrics.on_snapshot(self._snapshot_gauges)
+
+    def _snapshot_gauges(self, metrics: MetricsRegistry) -> None:
+        """Lazy gauges: queue depth and peer connectivity at poll time."""
+        metrics.gauge("net.queue_depth").set(
+            sum(peer.queue.qsize() for peer in self._peers.values())
+        )
+        metrics.gauge("net.peers_connected").set(
+            sum(1 for peer in self._peers.values() if peer.connected)
+        )
 
     # -- endpoint management (Network-compatible) ---------------------------
 
@@ -416,12 +461,15 @@ class TcpTransport:
             # Only deterministic rules here; loss and delay are applied
             # once, on the sending side.
             self.stats.messages_dropped += 1
+            self._m_frames_dropped.inc()
             return
         deliver = self._endpoints.get(dest)
         if deliver is None:
             self.stats.messages_dropped += 1
+            self._m_frames_dropped.inc()
             return
         self.stats.messages_delivered += 1
+        self._m_frames_delivered.inc()
         deliver(
             Message(
                 sender=sender, dest=dest, payload=payload, size=size,
@@ -451,12 +499,16 @@ class TcpTransport:
             frame = codec.encode_frame(sender, dest, payload, fmt)
         except codec.CodecError:
             self.stats.messages_dropped += 1
+            self._m_frames_dropped.inc()
             return
         self.stats.record_send(payload, len(frame) if size is None else size)
+        self._m_frames_sent.inc()
+        self._m_bytes_sent.inc(len(frame))
         if self.policy.should_drop(sender, dest):
             # Chaos hook: partitioned / one-way-dropped / probabilistically
             # lost. Mirrors the simulator's "sent then lost" accounting.
             self.stats.messages_dropped += 1
+            self._m_frames_dropped.inc()
             return
         injected = self.policy.latency(sender, dest)
         if injected > 0.0:
@@ -497,6 +549,7 @@ class TcpTransport:
             route.write(frame)
             return
         self.stats.messages_dropped += 1
+        self._m_frames_dropped.inc()
 
     # -- shutdown -----------------------------------------------------------
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable
 
 from repro.errors import SimulationError
+from repro.metrics.registry import MetricsRegistry
 from repro.sim.events import Event, EventQueue
 from repro.sim.network import LatencyModel, Network
 from repro.sim.rng import SeededRng
@@ -46,6 +47,10 @@ class Simulator:
         self.events = EventQueue()
         self.trace = TraceLog(enabled=trace_enabled, capacity=trace_capacity)
         self.network = Network(self, latency=latency)
+        # Cluster-wide registry: every simulated replica shares it (the sim
+        # is one process), so counters aggregate across the whole cluster
+        # and reconfiguration spans merge first-phase-wins across replicas.
+        self.metrics = MetricsRegistry()
         self._processes: dict[NodeId, "Process"] = {}
         self._started = False
         self.events_executed = 0

@@ -11,6 +11,20 @@ from repro.sim.runner import Simulator
 from repro.types import Command, CommandId, client_id
 
 
+def pytest_configure(config: pytest.Config) -> None:
+    # Registered in pyproject.toml too; duplicated here so running a test
+    # file directly (pytest tests/test_x.py -p no:cacheprovider from an
+    # odd cwd) still knows the markers.
+    config.addinivalue_line(
+        "markers",
+        "live: spawns real replica subprocesses over TCP "
+        "(deselect with -m 'not live')",
+    )
+    config.addinivalue_line(
+        "markers", "slow: takes multiple seconds of wall-clock time"
+    )
+
+
 @pytest.fixture
 def sim() -> Simulator:
     return Simulator(seed=1234)

@@ -30,6 +30,7 @@ from repro.core.state_transfer import (
 )
 from repro.net import codec
 from repro.net.chaos import ChaosAck, ChaosCommand
+from repro.net.observe import MetricsRequest, MetricsSnapshot
 from repro.types import (
     ClientId,
     Command,
@@ -128,6 +129,12 @@ observer_epochs = st.lists(
     max_size=2,
 ).map(tuple)
 
+# Registry-snapshot tables: str keys, wire-native numeric values (what
+# MetricsRegistry.snapshot emits — counters int, gauges/histograms float).
+counter_tables = st.dictionaries(names, st.integers(min_value=0, max_value=2**40), max_size=4)
+gauge_tables = st.dictionaries(names, times, max_size=4)
+summary_tables = st.dictionaries(names, st.dictionaries(names, times, max_size=4), max_size=3)
+
 #: one strategy per registered wire type (pinned by test_strategy_table_complete).
 STRATEGIES: dict[type, st.SearchStrategy] = {
     CommandId: command_ids,
@@ -194,6 +201,17 @@ STRATEGIES: dict[type, st.SearchStrategy] = {
         st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
     ),
     ChaosAck: st.builds(ChaosAck, command_ids, node_ids, names, st.booleans()),
+    MetricsRequest: st.builds(MetricsRequest, command_ids),
+    MetricsSnapshot: st.builds(
+        MetricsSnapshot,
+        command_ids,
+        node_ids,
+        times,
+        counter_tables,
+        gauge_tables,
+        summary_tables,
+        summary_tables,
+    ),
 }
 
 

@@ -10,8 +10,12 @@ the other live tests.
 
 import time
 
+import pytest
+
 from repro.net.chaos import run_chaos_scenario
 from repro.verify import check_kv_linearizable, dump_jsonl, load_jsonl
+
+pytestmark = [pytest.mark.live, pytest.mark.slow]
 
 WALL_CLOCK_BUDGET = 60.0
 

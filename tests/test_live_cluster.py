@@ -22,6 +22,8 @@ import pytest
 from repro.net.client import LiveClient
 from repro.net.cluster import LocalCluster
 
+pytestmark = [pytest.mark.live, pytest.mark.slow]
+
 #: hard budget for the full kill/restart/reconfigure scenario.
 WALL_CLOCK_BUDGET = 60.0
 
