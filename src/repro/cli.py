@@ -169,10 +169,20 @@ def _cmd_serve(args: "argparse.Namespace") -> int:
         link_policy=LinkPolicy(seed=args.seed),
     )
     runtime = LiveRuntime(transport, seed=args.seed, echo_trace=args.verbose)
+    storage = None
+    if args.data_dir:
+        from repro.storage import ReplicaStore
+
+        storage = ReplicaStore(
+            args.data_dir, fsync=args.fsync, metrics=runtime.metrics
+        )
     if args.chaos:
         from repro.net.chaos import install_chaos_endpoint
 
-        install_chaos_endpoint(transport, args.node)
+        status = None
+        if storage is not None:
+            status = storage.status  # recovery status for the controller
+        install_chaos_endpoint(transport, args.node, status=status)
     if not args.no_metrics:
         from repro.net.observe import install_metrics_endpoint
 
@@ -180,19 +190,33 @@ def _cmd_serve(args: "argparse.Namespace") -> int:
         install_metrics_endpoint(
             transport, args.node, runtime.metrics, lambda: runtime.now
         )
-    params = ReconfigParams(engine_factory=MultiPaxosEngine.factory())
+    params = ReconfigParams(
+        engine_factory=MultiPaxosEngine.factory(),
+        checkpoint_interval=args.checkpoint_interval,
+    )
     initial_config = None
     if args.initial:
         members = [m.strip() for m in args.initial.split(",") if m.strip()]
         if args.node in members:
             initial_config = Configuration(0, Membership.from_iter(members))
-    ReconfigurableReplica(
+    replica = ReconfigurableReplica(
         runtime,
         NodeId(args.node),
         _app_factory(args.app),
         params,
         initial_config=initial_config,
+        storage=storage,
     )
+    if storage is not None:
+        stat = storage.status()
+        boot = "recovered" if stat["recovered"] else "fresh"
+        print(f"[{args.node}] durable {boot}: "
+              f"{stat['wal_records']} WAL records, "
+              f"epoch {replica.exec_epoch} at vindex {replica.virtual_index}, "
+              f"torn_bytes={stat['torn_bytes']} "
+              f"({stat['recovery_seconds'] * 1000:.1f}ms, fsync="
+              f"{'on' if storage.fsync else 'off'})",
+              flush=True)
     print(f"[{args.node}] serving on {host}:{port} "
           f"(app={args.app}, member={'yes' if initial_config else 'standby'})",
           flush=True)
@@ -350,6 +374,7 @@ def _cmd_chaos(args: "argparse.Namespace") -> int:
         wire=args.wire,
         scale=args.scale,
         verbose=args.verbose,
+        durable=args.durable,
     )
     for line in report.lines():
         print(line)
@@ -361,6 +386,9 @@ def _cmd_chaos(args: "argparse.Namespace") -> int:
     if args.timeline:
         report.write_timeline(args.timeline)
         print(f"fault-aligned timeline written to {args.timeline}")
+    if args.recovery_out:
+        report.write_recovery(args.recovery_out)
+        print(f"recovery metrics written to {args.recovery_out}")
     if args.smoke and report.elapsed >= 60.0:
         print(f"FAIL: smoke chaos run took {report.elapsed:.1f}s (>= 60s)",
               file=sys.stderr)
@@ -409,6 +437,19 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument("--no-metrics", action="store_true",
                        help="do not expose the read-only #metrics endpoint "
                        "(on by default)")
+    serve.add_argument("--data-dir", default=None, metavar="DIR",
+                       help="durable state directory (WAL + checkpoints); "
+                       "reboots recover from it instead of cold-joining. "
+                       "Omit for the in-memory/amnesiac behaviour")
+    serve.add_argument("--fsync", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="fsync each WAL append (--no-fsync keeps "
+                       "SIGKILL durability but not machine-crash "
+                       "durability; much faster)")
+    serve.add_argument("--checkpoint-interval", type=float, default=5.0,
+                       metavar="SECONDS",
+                       help="period of durable state-machine checkpoints "
+                       "(0 = only at epoch boundaries; needs --data-dir)")
 
     cluster = sub.add_parser(
         "cluster", help="launch a live localhost cluster and drive it"
@@ -447,6 +488,13 @@ def main(argv: list[str] | None = None) -> int:
                        help="write the fault-aligned hand-off timeline as "
                        "JSON (injections + reconfiguration span phases on "
                        "one timebase); empty string to skip")
+    chaos.add_argument("--durable", action="store_true",
+                       help="give every replica a --data-dir so the "
+                       "schedule's restart recovers from checkpoint+WAL "
+                       "instead of amnesia")
+    chaos.add_argument("--recovery-out", default=None, metavar="PATH",
+                       help="write the per-node wal/recovery metrics "
+                       "snapshot as JSON (the CI artifact; needs --durable)")
     chaos.add_argument("--verbose", action="store_true")
 
     metrics = sub.add_parser(

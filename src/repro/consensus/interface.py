@@ -108,6 +108,21 @@ class Transport:
 
         return metrics_of(self._host.sim)
 
+    @property
+    def durability(self):
+        """This instance's durability handle (no-op on storage-less hosts).
+
+        Hosts opt in by exposing a ``storage`` attribute holding a
+        :class:`repro.storage.ReplicaStore`; everyone else gets the null
+        handle and keeps the pre-durability in-memory behaviour.
+        """
+        from repro.storage import NULL_DURABILITY
+
+        store = getattr(self._host, "storage", None)
+        if store is None:
+            return NULL_DURABILITY
+        return store.instance(self.instance_id)
+
     def send(self, dest: NodeId, inner: Any, size: int | None = None) -> None:
         self._host.send(dest, InstanceMessage(self.instance_id, inner), size=size)
 

@@ -147,6 +147,14 @@ class MultiPaxosEngine(SmrEngine):
                 "lease_duration must be strictly below suspect_timeout_min "
                 "or a new leader could be elected inside a live lease"
             )
+        # Durable acceptor/learner state (null handle on storage-less
+        # hosts). Restoring here, at the end of construction, means a
+        # recovered engine is indistinguishable from a live one by the
+        # time the host sees it.
+        self.durable = transport.durability
+        recovered = self.durable.recover()
+        if recovered is not None:
+            self._restore_durable(recovered)
 
     # -- factory ---------------------------------------------------------------
 
@@ -466,6 +474,9 @@ class MultiPaxosEngine(SmrEngine):
             self.max_round_seen = msg.ballot.round
         if msg.ballot > self.promised:
             self.promised = msg.ballot
+            # Durable before the Promise leaves: a crash after this line
+            # restores an acceptor that still honours what it said here.
+            self.durable.record_promise(msg.ballot)
             # Granting a promise re-arms suspicion, the usual duel damper.
             self._monitor.heard_from_leader()
             accepted = tuple(
@@ -484,6 +495,8 @@ class MultiPaxosEngine(SmrEngine):
         if msg.ballot >= self.promised:
             self.promised = msg.ballot
             self.accepted[msg.slot] = (msg.ballot, msg.value)
+            # Durable before the Accepted vote leaves the process.
+            self.durable.record_accept(msg.slot, msg.ballot, msg.value)
             self.leader_hint = msg.ballot.proposer
             self._last_leader_contact = self.transport.now
             self._monitor.heard_from_leader()
@@ -535,9 +548,32 @@ class MultiPaxosEngine(SmrEngine):
         if msg.promised > self.ballot:
             self._step_down(msg.promised)
 
+    # -- recovery -----------------------------------------------------------------------------------
+
+    def _restore_durable(self, state) -> None:
+        """Resume from recovered acceptor/learner state (boot-time only).
+
+        The acceptor watermarks come back verbatim; decided slots replay
+        through :meth:`_record_decision`, so the host observes them in
+        the usual ``on_decide`` order (the durability handle's dedup
+        mirror makes the re-record a no-op). Round watermarks feed
+        ``max_round_seen`` so a future campaign of ours starts above
+        every ballot we ever acknowledged.
+        """
+        self.promised = state.promised
+        self.accepted = dict(state.accepted)
+        rounds = [self.max_round_seen, self.promised.round]
+        rounds.extend(ballot.round for ballot, _ in state.accepted.values())
+        self.max_round_seen = max(rounds)
+        for slot in sorted(state.decided):
+            self._record_decision(slot, state.decided[slot])
+
     # -- learner ------------------------------------------------------------------------------------
 
     def _record_decision(self, slot: Slot, value: Any) -> None:
+        # Durable before the decision is acted on (and, on the leader,
+        # before the Decide broadcast below in _handle_accepted).
+        self.durable.record_decide(slot, value)
         released = self.log.record(slot, value, self.transport.now)
         if released:
             self._m_decided.inc(len(released))

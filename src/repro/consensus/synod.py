@@ -59,17 +59,35 @@ class SynodNack:
 
 
 class SynodAcceptor:
-    """Acceptor for one decree."""
+    """Acceptor for one decree.
 
-    def __init__(self, node: NodeId):
+    ``durability`` is any object with the
+    :class:`repro.storage.InstanceDurability` surface (the single-decree
+    case uses slot 0); it defaults to a no-op so in-memory property tests
+    run unchanged. State recorded there is restored on construction,
+    which is exactly the persistence Paxos demands of a voter.
+    """
+
+    def __init__(self, node: NodeId, durability: Any = None):
         self.node = node
         self.promised: Ballot = Ballot.ZERO
         self.accepted_ballot: Ballot = Ballot.ZERO
         self.accepted_value: Any = None
+        if durability is None:
+            from repro.storage import NULL_DURABILITY
+
+            durability = NULL_DURABILITY
+        self.durable = durability
+        recovered = self.durable.recover()
+        if recovered is not None:
+            self.promised = recovered.promised
+            if 0 in recovered.accepted:
+                self.accepted_ballot, self.accepted_value = recovered.accepted[0]
 
     def on_prepare(self, msg: SynodPrepare) -> SynodPromise | SynodNack:
         if msg.ballot > self.promised:
             self.promised = msg.ballot
+            self.durable.record_promise(msg.ballot)
             return SynodPromise(msg.ballot, self.accepted_ballot, self.accepted_value)
         return SynodNack(msg.ballot, self.promised)
 
@@ -78,6 +96,7 @@ class SynodAcceptor:
             self.promised = msg.ballot
             self.accepted_ballot = msg.ballot
             self.accepted_value = msg.value
+            self.durable.record_accept(0, msg.ballot, msg.value)
             return SynodAccepted(msg.ballot)
         return SynodNack(msg.ballot, self.promised)
 

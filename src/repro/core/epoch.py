@@ -38,6 +38,10 @@ class EpochRuntime:
     #: boundary snapshot (application state at the start of this epoch).
     start_state: Any = None
     start_state_ready: bool = False
+    #: False when ``start_state`` is a mid-epoch recovery checkpoint
+    #: rather than the true epoch boundary — such a state must never be
+    #: served to joiners or observers as if it were the boundary.
+    start_state_is_boundary: bool = True
     #: how many effective entries have been executed locally.
     executed: int = 0
     #: count of decisions orphaned past the cut (diagnostics).

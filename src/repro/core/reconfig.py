@@ -61,7 +61,7 @@ from repro.core.state_transfer import (
 )
 from repro.core.statemachine import DedupStateMachine, StateMachine
 from repro.errors import ProtocolError
-from repro.metrics.registry import SPAN_RECONFIG, metrics_of
+from repro.metrics.registry import SPAN_RECONFIG, SPAN_RECOVERY, metrics_of
 from repro.sim.node import Process
 from repro.types import (
     Command,
@@ -144,6 +144,9 @@ class ReconfigParams:
     #: members re-announce the newest epoch at this period until it seals,
     #: so a joiner that missed the (unacknowledged) announce still joins.
     announce_interval: float = 0.5
+    #: period of durable state-machine checkpoints (0 = boundary-only).
+    #: Only meaningful on replicas constructed with a ``storage`` store.
+    checkpoint_interval: float = 0.0
     #: "log" orders every operation; "lease" serves read-only operations
     #: locally at the current epoch's leaseholding leader (no log round).
     read_mode: str = "log"
@@ -182,8 +185,13 @@ class ReconfigurableReplica(Process):
         commit_listener: CommitListener | None = None,
         order_listener: OrderListener | None = None,
         observe_from: list[NodeId] | None = None,
+        storage: Any = None,
     ):
         super().__init__(sim, node)
+        # Set before any engine exists: engines discover durability by
+        # reading ``host.storage`` through their transport at construction.
+        self.storage = storage
+        self._last_checkpoint_marker: tuple[EpochId, int] = (-1, -1)
         self.params = params
         self.app_factory = app_factory
         self.commit_listener = commit_listener
@@ -227,7 +235,10 @@ class ReconfigurableReplica(Process):
             initial_config.epoch if initial_config is not None else None
         )
 
-        if initial_config is not None:
+        recovered = False
+        if storage is not None and storage.recovered.has_state:
+            recovered = self._recover_from_storage()
+        if not recovered and initial_config is not None:
             if node not in initial_config.members:
                 raise ProtocolError(
                     f"{node} bootstrapped with a configuration it is not in"
@@ -283,6 +294,83 @@ class ReconfigurableReplica(Process):
         counter.inc()
 
     # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+
+    def _recover_from_storage(self) -> bool:
+        """Rebuild the epoch chain from the durable store at boot.
+
+        The checkpoint pins the execution frontier (state machine, virtual
+        index, entries of the frontier epoch already applied); the WAL's
+        epoch-open records say which engines to rebuild, and each engine
+        restores its own acceptor/learner state through its durability
+        handle as it is constructed — replayed decisions flow through the
+        ordinary ``on_decide`` path, so seals, chain growth and execution
+        all happen exactly as they did the first time. Anything the WAL
+        does not know (entries decided elsewhere while we were down) is
+        healed afterwards by the normal catch-up and announce protocols:
+        we *rejoin* the cluster, we do not cold-join it.
+
+        Returns False (cold boot proceeds) when the store holds nothing a
+        chain can be built from.
+        """
+        rec = self.storage.recovered
+        ckpt = rec.checkpoint
+        epoch_opens = {eo.config.epoch: eo for eo in rec.epochs}
+        if not epoch_opens:
+            return False
+        base = ckpt.exec_epoch if ckpt is not None else min(epoch_opens)
+        base_open = epoch_opens.get(base)
+        if base_open is None:
+            return False
+        self.metrics.span_event(SPAN_RECOVERY, self.node, "begin", self.now)
+
+        self.exec_epoch = base
+        runtime = EpochRuntime(config=base_open.config)
+        self.chain[base] = runtime
+        self.newest_epoch = base
+        if ckpt is not None:
+            runtime.executed = ckpt.executed
+            runtime.start_state = {
+                "state": ckpt.app_state,
+                "vindex": ckpt.virtual_index,
+            }
+            runtime.start_state_ready = True
+            # A mid-epoch checkpoint is not the epoch boundary: replay
+            # resumes from it, but joiners must fetch the true boundary
+            # from someone else.
+            runtime.start_state_is_boundary = ckpt.executed == 0
+            self._last_checkpoint_marker = (ckpt.exec_epoch, ckpt.virtual_index)
+        elif base_open.prev_members is None:
+            # Genesis epoch, never checkpointed: replay from scratch.
+            runtime.start_state = None
+            runtime.start_state_ready = True
+        # else: we joined ``base`` and crashed before its boundary landed —
+        # leave start_state_ready False and _open_epoch below re-fetches
+        # the boundary from base_open.prev_members, like a cold joiner.
+
+        # The recovered base was not (re)produced by a reconfiguration we
+        # will observe this lifetime; suppress its reconfig span.
+        self._genesis_epoch = base
+        for epoch in sorted(epoch_opens):
+            if epoch < base:
+                continue
+            eo = epoch_opens[epoch]
+            self._open_epoch(eo.config, prev_members=eo.prev_members)
+        self.metrics.span_event(SPAN_RECOVERY, self.node, "replayed", self.now)
+        self._advance_execution()
+        self.metrics.span_event(SPAN_RECOVERY, self.node, "rejoined", self.now)
+        self.trace(
+            "recovered",
+            base=base,
+            newest=self.newest_epoch,
+            executed=self.virtual_index,
+            wal_records=rec.records,
+            torn_bytes=rec.torn_bytes,
+        )
+        return True
+
+    # ------------------------------------------------------------------
     # Epoch chain management
     # ------------------------------------------------------------------
 
@@ -304,6 +392,10 @@ class ReconfigurableReplica(Process):
             if len(self.chain) == 1:
                 self.exec_epoch = config.epoch
         if self.node in config.members and runtime.engine is None:
+            if self.storage is not None:
+                # Durable before the engine exists (let alone speaks): a
+                # recovered replica must know which epochs it was in.
+                self.storage.log_epoch_open(config, prev_members)
             transport = Transport(self, f"e{config.epoch}")
             runtime.engine = self.params.engine_factory(
                 transport,
@@ -569,6 +661,17 @@ class ReconfigurableReplica(Process):
             if self._transfer is not None and self._transfer.epoch == epoch + 1:
                 self._transfer.done = True
         self.exec_epoch = epoch + 1
+        if self.storage is not None:
+            # Boundary checkpoint: pins the new epoch's start state and
+            # lets the WAL drop everything the finished epoch wrote.
+            self._last_checkpoint_marker = (epoch + 1, self.virtual_index)
+            self.storage.checkpoint(
+                exec_epoch=epoch + 1,
+                executed=0,
+                virtual_index=self.virtual_index,
+                app_state=boundary["state"],
+                now=self.now,
+            )
         if runtime.engine is not None:
             engine = runtime.engine
             self.set_timer(
@@ -739,6 +842,42 @@ class ReconfigurableReplica(Process):
     def on_start(self) -> None:
         if self._observe_targets:
             self._observer_subscribe_tick()
+        if self.storage is not None and self.params.checkpoint_interval > 0:
+            self.set_timer(
+                self.params.checkpoint_interval,
+                self._checkpoint_tick,
+                label="checkpoint",
+            )
+
+    def _checkpoint_tick(self) -> None:
+        if self.crashed:
+            return
+        self._maybe_checkpoint()
+        self.set_timer(
+            self.params.checkpoint_interval, self._checkpoint_tick, label="checkpoint"
+        )
+
+    def _maybe_checkpoint(self) -> None:
+        """Write a periodic checkpoint if execution advanced since the last.
+
+        Mid-epoch checkpoints bound recovery replay between epoch
+        boundaries; the (epoch, virtual index) marker makes an idle
+        replica's ticks free.
+        """
+        if self.storage is None or self.state is None:
+            return
+        marker = (self.exec_epoch, self.virtual_index)
+        if marker == self._last_checkpoint_marker:
+            return
+        runtime = self.chain.get(self.exec_epoch)
+        self._last_checkpoint_marker = marker
+        self.storage.checkpoint(
+            exec_epoch=self.exec_epoch,
+            executed=runtime.executed if runtime is not None else 0,
+            virtual_index=self.virtual_index,
+            app_state=self.state.snapshot(),
+            now=self.now,
+        )
 
     def _observer_subscribe_tick(self) -> None:
         """Subscribe (and periodically re-subscribe) to a live sponsor."""
@@ -762,6 +901,12 @@ class ReconfigurableReplica(Process):
         runtime = self.chain.get(self.exec_epoch)
         if runtime is None or not runtime.start_state_ready:
             return  # not bootstrappable yet; the observer will retry
+        if not runtime.start_state_is_boundary:
+            # Recovered from a mid-epoch checkpoint: our start_state is
+            # not the epoch boundary, so we cannot bootstrap an observer
+            # honestly. We can again at the next epoch boundary; until
+            # then the observer's re-subscribe tries another sponsor.
+            return
         self._observers.add(sender)
         epochs = tuple(
             (
@@ -989,3 +1134,8 @@ class ReconfigurableReplica(Process):
         for runtime in self.chain.values():
             if runtime.engine is not None:
                 runtime.engine.stop()
+        if self.storage is not None:
+            # Simulated crashes leave the store on disk for the replica's
+            # next incarnation; closing keeps the dead process from
+            # holding (or, in tests, reusing) the write handle.
+            self.storage.close()

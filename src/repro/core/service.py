@@ -7,7 +7,7 @@ benchmark harness all share.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable
+from typing import Any, Callable, Iterable
 
 from repro.consensus.interface import EngineFactory
 from repro.consensus.multipaxos import MultiPaxosEngine
@@ -72,6 +72,7 @@ class ReplicatedService:
         params: ReconfigParams | None = None,
         commit_listener: CommitListener | None = None,
         order_listener: OrderListener | None = None,
+        storage_factory: Callable[[str], Any] | None = None,
     ):
         self.sim = sim
         self.app_factory = app_factory
@@ -81,6 +82,9 @@ class ReplicatedService:
         self.params = params
         self.commit_listener = commit_listener
         self.order_listener = order_listener
+        #: node name -> ReplicaStore; lets deterministic sim tests run the
+        #: replicas durably (each node needs its own directory).
+        self.storage_factory = storage_factory
         initial = Configuration(0, Membership.from_iter(members))
         if len(initial.members) == 0:
             raise ConfigurationError("service needs at least one member")
@@ -95,6 +99,7 @@ class ReplicatedService:
                 initial_config=initial,
                 commit_listener=commit_listener,
                 order_listener=order_listener,
+                storage=storage_factory(str(node)) if storage_factory else None,
             )
         self._admin_seq = 0
         self._clients: list[Client] = []

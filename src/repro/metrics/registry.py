@@ -44,6 +44,12 @@ from repro.types import Time
 #: span kind for the reconfiguration seam (epoch hand-off).
 SPAN_RECONFIG = "reconfig"
 
+#: span kind for durable checkpoints (begin → written → compacted).
+SPAN_CHECKPOINT = "checkpoint"
+
+#: span kind for boot-time crash recovery (begin → replayed → rejoined).
+SPAN_RECOVERY = "recovery"
+
 #: phases of a reconfiguration span, in causal order. A span is complete
 #: when every phase has been recorded.
 RECONFIG_PHASES = ("decided", "cut", "transfer", "first-commit")

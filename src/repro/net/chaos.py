@@ -8,7 +8,9 @@ real processes and real sockets:
 
 * **crash** = ``SIGKILL`` of the replica's OS process (fail-stop, no
   goodbye, exactly the paper's model);
-* **restart** = respawn of the process with total amnesia;
+* **restart** = respawn of the process — with **total amnesia** on a
+  storage-less cluster, or with **crash recovery** (checkpoint + WAL
+  replay, see :mod:`repro.storage`) when the cluster runs durable;
 * **partition / link drop / delay / loss** = transport-level, through the
   :class:`~repro.net.transport.LinkPolicy` hooks — no processes are
   harmed, which is the point: a partitioned replica keeps running and
@@ -97,12 +99,18 @@ class ChaosCommand:
 
 @dataclass(frozen=True, slots=True)
 class ChaosAck:
-    """Replica -> controller: rule applied (or rejected)."""
+    """Replica -> controller: rule applied (or rejected).
+
+    ``detail`` is optional op-specific payload — for the ``status`` op it
+    carries the replica's recovery/durability status as a JSON object
+    (see :func:`install_chaos_endpoint`), empty for link ops.
+    """
 
     cid: CommandId
     node: NodeId
     op: str
     applied: bool
+    detail: str = ""
 
 
 def apply_chaos_command(policy: LinkPolicy, command: ChaosCommand) -> bool:
@@ -125,7 +133,9 @@ def apply_chaos_command(policy: LinkPolicy, command: ChaosCommand) -> bool:
     return True
 
 
-def install_chaos_endpoint(transport: TcpTransport, node: str) -> NodeId:
+def install_chaos_endpoint(
+    transport: TcpTransport, node: str, status: Any = None
+) -> NodeId:
     """Register ``node``'s chaos admin endpoint on its transport.
 
     Only wired up under ``repro serve --chaos``: production replicas do
@@ -133,6 +143,10 @@ def install_chaos_endpoint(transport: TcpTransport, node: str) -> NodeId:
     transport's :class:`LinkPolicy` and acks over the requester's reply
     route — it never touches replica state, so the protocol stack stays
     blind to the schedule.
+
+    ``status`` (optional, a zero-argument callable returning a plain
+    dict) answers the read-only ``status`` op — the controller uses it
+    to ask a restarted replica whether it recovered durable state.
     """
     endpoint = chaos_endpoint(node)
 
@@ -140,12 +154,16 @@ def install_chaos_endpoint(transport: TcpTransport, node: str) -> NodeId:
         command = message.payload
         if not isinstance(command, ChaosCommand):
             return
-        applied = apply_chaos_command(transport.policy, command)
-        transport.send(
-            endpoint,
-            message.sender,
-            ChaosAck(command.cid, NodeId(str(node)), command.op, applied),
-        )
+        if command.op == "status":
+            detail = json.dumps(status()) if status is not None else ""
+            ack = ChaosAck(
+                command.cid, NodeId(str(node)), command.op,
+                status is not None, detail,
+            )
+        else:
+            applied = apply_chaos_command(transport.policy, command)
+            ack = ChaosAck(command.cid, NodeId(str(node)), command.op, applied)
+        transport.send(endpoint, message.sender, ack)
 
     transport.register(endpoint, handle)
     return endpoint
@@ -261,7 +279,22 @@ class ChaosController:
                 break
             if self._stop.is_set():
                 break
-            acks = self._apply(action)
+            try:
+                acks = self._apply(action)
+            except Exception as exc:
+                # The injection log must record the attempt even when the
+                # action blows up (e.g. a respawn that never binds its
+                # port raises from deep inside the cluster harness) —
+                # otherwise the report silently shows fewer injections
+                # than the schedule and the run looks healthier than it
+                # was. Log first, then let the failure propagate.
+                self.errors.append(
+                    f"{type(action).__name__} at {action.time}: {exc}"
+                )
+                self.log.append(
+                    Injection(action.time, time.monotonic() - t0, action, ())
+                )
+                raise
             self.log.append(
                 Injection(action.time, time.monotonic() - t0, action, acks)
             )
@@ -287,7 +320,10 @@ class ChaosController:
             acked = []
             for active in self._active.values():
                 command = _link_command(active, self._next_cid())
-                if command is not None and self._push(str(action.node), command):
+                if command is None:
+                    continue
+                ack = self._push(str(action.node), command)
+                if ack is not None and ack.applied:
                     acked.append(f"{action.node}:{command.name}")
             return tuple(acked)
         command = _link_command(action, self._next_cid())
@@ -311,7 +347,8 @@ class ChaosController:
                 self._next_cid(), command.op, command.name,
                 command.side_a, command.side_b, command.value,
             )
-            if self._push(name, per_node):
+            ack = self._push(name, per_node)
+            if ack is not None and ack.applied:
                 acked.append(name)
         return tuple(acked)
 
@@ -319,7 +356,23 @@ class ChaosController:
         self._seq += 1
         return CommandId(self.client, self._seq)
 
-    def _push(self, replica: str, command: ChaosCommand) -> bool:
+    def recovery_status(self, replica: str) -> dict[str, Any] | None:
+        """Ask one replica's chaos endpoint for its durability status.
+
+        Returns the replica's status dict (see ``ReplicaStore.status``,
+        plus whatever the serve wiring adds), or None when the replica is
+        unreachable or runs without a status hook.
+        """
+        ack = self._push(replica, ChaosCommand(self._next_cid(), "status"))
+        if ack is None or not ack.applied or not ack.detail:
+            return None
+        try:
+            return json.loads(ack.detail)
+        except ValueError:
+            self.errors.append(f"{replica}: undecodable status {ack.detail!r}")
+            return None
+
+    def _push(self, replica: str, command: ChaosCommand) -> ChaosAck | None:
         """Deliver one command to a replica's chaos endpoint, await the ack."""
         try:
             with socket.create_connection(
@@ -346,20 +399,20 @@ class ChaosController:
                             isinstance(payload, ChaosAck)
                             and payload.cid == command.cid
                         ):
-                            return payload.applied
+                            return payload
                     remaining = give_up_at - time.monotonic()
                     if remaining <= 0:
                         self.errors.append(f"{replica}: no ack for {command.op}")
-                        return False
+                        return None
                     sock.settimeout(max(remaining, 0.01))
                     chunk = sock.recv(65536)
                     if not chunk:
                         self.errors.append(f"{replica}: closed during {command.op}")
-                        return False
+                        return None
                     buffer += chunk
         except (OSError, codec.CodecError) as exc:
             self.errors.append(f"{replica}: {command.op} push failed: {exc}")
-            return False
+            return None
 
 
 # ---------------------------------------------------------------------------
@@ -464,6 +517,9 @@ class ChaosReport:
     #: endpoints, clock-aligned onto the injection log's timebase:
     #: node -> new-epoch id -> phase -> seconds from controller start.
     spans: dict[str, dict[str, dict[str, float]]] = field(default_factory=dict)
+    #: durable runs only: node -> wal./recovery./checkpoint counters and
+    #: recovery-duration summary extracted from each #metrics snapshot.
+    recovery: dict[str, dict[str, Any]] = field(default_factory=dict)
 
     def span_overlaps(self, at: float) -> list[str]:
         """Spans in flight at offset ``at`` (``node:epoch`` labels).
@@ -512,6 +568,15 @@ class ChaosReport:
             "events": self.timeline(),
         }
         Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+    def write_recovery(self, path: Any) -> None:
+        """Write the per-node recovery metrics snapshot as JSON (CI artifact)."""
+        payload = {
+            "seed": self.seed,
+            "linearizable": self.linearizable.ok,
+            "nodes": self.recovery,
+        }
+        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
     def lines(self) -> list[str]:
         """Human-readable summary (one string per line)."""
@@ -568,6 +633,7 @@ def run_chaos_scenario(
     scale: float = 1.0,
     schedule: FailureSchedule | None = None,
     verbose: bool = False,
+    durable: bool = False,
 ) -> ChaosReport:
     """Run a seeded failure schedule against a live cluster and verify it.
 
@@ -576,13 +642,18 @@ def run_chaos_scenario(
     at the end. Mid-schedule (during the leader partition for the
     canonical schedule) the workload client drives a live RECONFIGURE
     that replaces the isolated leader with a standby joiner.
+
+    With ``durable=True`` every replica runs with a ``--data-dir``, so
+    the schedule's restart comes back through crash recovery instead of
+    amnesia; each node's wal/recovery counters land in
+    :attr:`ChaosReport.recovery`.
     """
     from repro.net.cluster import LocalCluster
 
     started = time.monotonic()
     cluster = LocalCluster(
         replicas=replicas, reserve=2, seed=seed, wire=wire,
-        log_dir=log_dir, chaos=True, verbose=verbose,
+        log_dir=log_dir, chaos=True, verbose=verbose, durable=durable,
     )
     with cluster:
         cluster.start(timeout=20.0)
@@ -663,6 +734,19 @@ def run_chaos_scenario(
                     }
                     for epoch, phases in node_spans.items()
                 }
+        recovery: dict[str, dict[str, Any]] = {}
+        if durable:
+            for node, snap in fetched.items():
+                recovery[node] = {
+                    "counters": {
+                        name: value
+                        for name, value in sorted(snap.snapshot.counters.items())
+                        if name.startswith(("wal.", "recovery."))
+                    },
+                    "recovery_duration": snap.snapshot.histograms.get(
+                        "recovery.duration", {}
+                    ),
+                }
     history = recorder.history()
     result = check_kv_linearizable(history)
     return ChaosReport(
@@ -677,4 +761,5 @@ def run_chaos_scenario(
         log_dir=str(cluster.log_dir),
         errors=list(controller.errors) + fetch_errors,
         spans=aligned_spans,
+        recovery=recovery,
     )

@@ -72,6 +72,9 @@ class LocalCluster:
         verbose: bool = False,
         chaos: bool = False,
         spawn_retries: int = 3,
+        durable: bool = False,
+        data_root: str | Path | None = None,
+        fsync: bool = False,
     ):
         if replicas < 1:
             raise ValueError("need at least one replica")
@@ -106,6 +109,20 @@ class LocalCluster:
             else tempfile.mkdtemp(prefix="repro-cluster-")
         )
         self.log_dir.mkdir(parents=True, exist_ok=True)
+        #: durable mode: every replica gets --data-dir under data_root, so
+        #: restart() recovers from checkpoint+WAL instead of amnesia.
+        #: fsync defaults off for the localhost harness: flushed-to-kernel
+        #: writes already survive SIGKILL (the failure mode under test);
+        #: per-append fsync only adds machine-crash durability and makes
+        #: wall-clock-budgeted tests an order of magnitude slower.
+        self.durable = durable or data_root is not None
+        self.fsync = fsync
+        self.data_root: Path | None = None
+        if self.durable:
+            self.data_root = Path(
+                data_root if data_root is not None else self.log_dir / "data"
+            )
+            self.data_root.mkdir(parents=True, exist_ok=True)
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -141,6 +158,10 @@ class LocalCluster:
             argv += ["--wire", self.wire]
         if self.chaos:
             argv += ["--chaos"]
+        if self.data_root is not None:
+            argv += ["--data-dir", str(self.data_root / name)]
+            if not self.fsync:
+                argv += ["--no-fsync"]
         if name in self.initial:
             argv += ["--initial", ",".join(self.initial)]
         if self.verbose:
@@ -219,14 +240,31 @@ class LocalCluster:
             proc.kill()
         proc.wait(timeout=10)
 
-    def restart(self, name: str, wait: bool = True, timeout: float = 15.0) -> None:
-        """Bring a killed replica back (with total amnesia, as in the model).
+    def restart(
+        self,
+        name: str,
+        wait: bool = True,
+        timeout: float = 15.0,
+        amnesia: bool | None = None,
+    ) -> None:
+        """Bring a killed replica back.
+
+        On a storage-less cluster the respawn has total amnesia (the
+        original model); on a durable cluster it recovers from its data
+        directory. ``amnesia=True`` forces the amnesiac behaviour even
+        when durable by wiping the replica's data directory first — the
+        control arm of the amnesiac-vs-recovered comparison (EXPERIMENTS
+        T12). ``amnesia=None`` means "whatever the cluster does".
 
         The replica keeps its address-book port; if the old incarnation's
         socket still lingers, :meth:`wait_ready` retries the spawn rather
         than failing on the first lost bind race.
         """
         self.kill(name)
+        if amnesia and self.data_root is not None:
+            import shutil
+
+            shutil.rmtree(self.data_root / name, ignore_errors=True)
         self._respawns.pop(name, None)  # fresh retry budget per restart
         self.spawn(name)
         if wait:

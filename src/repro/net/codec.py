@@ -124,6 +124,7 @@ def _bootstrap() -> None:
     from repro.core import state_transfer as st
     from repro.net import chaos as ch
     from repro.net import observe as ob
+    from repro.storage import records as sr
 
     protocol: Iterable[type] = (
         # shared primitives
@@ -175,6 +176,12 @@ def _bootstrap() -> None:
         # observability admin protocol (the #metrics endpoint)
         ob.MetricsRequest,
         ob.MetricsSnapshot,
+        # durable storage records (WAL + checkpoints; disk, not wire)
+        sr.WalPromise,
+        sr.WalAccept,
+        sr.WalDecide,
+        sr.WalEpochOpen,
+        sr.CheckpointRecord,
     )
     for cls in protocol:
         register(cls)
@@ -607,7 +614,10 @@ def decode_payload(data: bytes) -> Any:
         if end != len(data):
             raise CodecError(f"{len(data) - end} trailing bytes after binary payload")
         return value
-    return _decode(json.loads(data.decode("utf-8")))
+    try:
+        return _decode(json.loads(data.decode("utf-8")))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CodecError(f"malformed json payload: {exc}") from exc
 
 
 def frame_format(body: bytes) -> str:

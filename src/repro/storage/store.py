@@ -1,0 +1,472 @@
+"""Per-replica durable store: WAL segments + checkpoints + recovery.
+
+One :class:`ReplicaStore` owns one data directory::
+
+    <data-dir>/
+        wal-000001.log      # CRC-framed record segments, append-only
+        wal-000002.log      # newest segment is the active one
+        ckpt-000003.bin     # checkpoints (one framed CheckpointRecord each)
+
+Engines write through :class:`InstanceDurability` handles (one per engine
+instance id, reached via ``Transport.durability``); the reconfigurable
+replica logs epoch transitions and takes checkpoints directly on the
+store. Handles are idempotent — re-recording state that is already
+durable is a no-op — which is what makes recovery replay (and the
+re-decide traffic it triggers) safe.
+
+Compaction: every checkpoint rewrites the WAL into a fresh segment
+carrying only records still needed — the acceptor/learner state of
+instances at or above the checkpoint's execution epoch — and deletes the
+older segments. Instances of fully-executed earlier epochs are dropped
+entirely: a recovered replica simply does not rebuild those engines, and
+an engine that never answers cannot violate a promise. Silence is always
+safe in Paxos; only *amnesia* is dangerous.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.consensus.ballot import Ballot
+from repro.metrics.registry import SPAN_CHECKPOINT, MetricsRegistry
+from repro.net import codec
+from repro.storage.records import (
+    CheckpointRecord,
+    WalAccept,
+    WalDecide,
+    WalEpochOpen,
+    WalPromise,
+)
+from repro.storage.wal import WalWriter, frame_record, read_wal_bytes, read_wal_file
+from repro.types import Configuration, Membership, Slot
+
+_SEGMENT_PREFIX = "wal-"
+_CKPT_PREFIX = "ckpt-"
+
+#: checkpoints retained on disk. Two, not one: a crash between writing a
+#: new checkpoint and compacting the WAL must leave a loadable fallback.
+_CKPT_KEEP = 2
+
+
+@dataclass(slots=True)
+class InstanceState:
+    """Recovered acceptor + learner state of one engine instance."""
+
+    promised: Ballot = Ballot.ZERO
+    #: slot -> (ballot, value) of the highest-ballot accept per slot.
+    accepted: dict[Slot, tuple[Ballot, Any]] = field(default_factory=dict)
+    #: slot -> decided value.
+    decided: dict[Slot, Any] = field(default_factory=dict)
+
+    @property
+    def empty(self) -> bool:
+        return (
+            self.promised == Ballot.ZERO
+            and not self.accepted
+            and not self.decided
+        )
+
+
+@dataclass(slots=True)
+class RecoveredState:
+    """Everything a boot found on disk, folded and ready to replay."""
+
+    checkpoint: CheckpointRecord | None
+    #: epoch transitions in epoch order (oldest first).
+    epochs: list[WalEpochOpen]
+    #: instance id -> folded state.
+    instances: dict[str, InstanceState]
+    #: intact WAL records read across all segments.
+    records: int = 0
+    #: trailing bytes truncated from torn segments.
+    torn_bytes: int = 0
+    #: wall-clock seconds the load took.
+    duration: float = 0.0
+
+    @property
+    def has_state(self) -> bool:
+        return self.checkpoint is not None or bool(self.epochs)
+
+    def instance_epoch_floor(self) -> int:
+        """Lowest epoch recovery will rebuild (checkpoint's, else oldest)."""
+        if self.checkpoint is not None:
+            return self.checkpoint.exec_epoch
+        if self.epochs:
+            return self.epochs[0].config.epoch
+        return 0
+
+
+def _instance_epoch(instance: str) -> int | None:
+    """Epoch number of a reconfigurable instance id, None if unparseable."""
+    if instance.startswith("e"):
+        try:
+            return int(instance[1:])
+        except ValueError:
+            return None
+    return None
+
+
+def fold_records(records: list[Any]) -> tuple[dict[int, WalEpochOpen], dict[str, InstanceState]]:
+    """Fold a record stream into per-epoch and per-instance state.
+
+    Order-tolerant and duplicate-tolerant on purpose: a crash during
+    compaction can leave both the old and the new segment on disk, so the
+    fold must be a pure max/union over whatever it reads. Promises keep
+    the highest ballot (accepts imply promises); accepts keep the highest
+    ballot per slot; decides are first-wins (agreement makes any
+    duplicate identical).
+    """
+    epochs: dict[int, WalEpochOpen] = {}
+    instances: dict[str, InstanceState] = {}
+
+    def state_of(instance: str) -> InstanceState:
+        state = instances.get(instance)
+        if state is None:
+            state = instances[instance] = InstanceState()
+        return state
+
+    for record in records:
+        if isinstance(record, WalEpochOpen):
+            epochs.setdefault(record.config.epoch, record)
+        elif isinstance(record, WalPromise):
+            state = state_of(record.instance)
+            if record.ballot > state.promised:
+                state.promised = record.ballot
+        elif isinstance(record, WalAccept):
+            state = state_of(record.instance)
+            if record.ballot > state.promised:
+                state.promised = record.ballot
+            current = state.accepted.get(record.slot)
+            if current is None or record.ballot > current[0]:
+                state.accepted[record.slot] = (record.ballot, record.value)
+        elif isinstance(record, WalDecide):
+            state_of(record.instance).decided.setdefault(record.slot, record.value)
+        # Unknown record types are skipped, not fatal: an older build must
+        # be able to reopen a directory written by a newer one.
+    return epochs, instances
+
+
+class NullDurability:
+    """No-op durability handle (in-memory runs, storage-less hosts)."""
+
+    __slots__ = ()
+
+    def recover(self) -> InstanceState | None:
+        return None
+
+    def record_promise(self, ballot: Ballot) -> None:
+        pass
+
+    def record_accept(self, slot: Slot, ballot: Ballot, value: Any) -> None:
+        pass
+
+    def record_decide(self, slot: Slot, value: Any) -> None:
+        pass
+
+
+NULL_DURABILITY = NullDurability()
+
+
+class InstanceDurability:
+    """One engine instance's write handle into the replica's WAL.
+
+    Mirrors the durable watermarks (highest promise, highest accept
+    ballot per slot, decided slots) so that re-recording already-durable
+    state — which recovery replay does constantly — costs no I/O.
+    """
+
+    __slots__ = ("_store", "instance", "_promised", "_accepted", "_decided")
+
+    def __init__(self, store: "ReplicaStore", instance: str, recovered: InstanceState | None):
+        self._store = store
+        self.instance = instance
+        self._promised = recovered.promised if recovered else Ballot.ZERO
+        self._accepted: dict[Slot, Ballot] = (
+            {slot: ballot for slot, (ballot, _) in recovered.accepted.items()}
+            if recovered
+            else {}
+        )
+        self._decided: set[Slot] = set(recovered.decided) if recovered else set()
+
+    def recover(self) -> InstanceState | None:
+        """The state this instance must resume from (None = fresh)."""
+        state = self._store.recovered.instances.get(self.instance)
+        return None if state is None or state.empty else state
+
+    def record_promise(self, ballot: Ballot) -> None:
+        if ballot <= self._promised:
+            return
+        self._promised = ballot
+        self._store.append(WalPromise(self.instance, ballot))
+
+    def record_accept(self, slot: Slot, ballot: Ballot, value: Any) -> None:
+        current = self._accepted.get(slot)
+        if current is not None and ballot <= current:
+            return
+        self._accepted[slot] = ballot
+        if ballot > self._promised:
+            self._promised = ballot  # an accept implies the promise
+        self._store.append(WalAccept(self.instance, slot, ballot, value))
+
+    def record_decide(self, slot: Slot, value: Any) -> None:
+        if slot in self._decided:
+            return
+        self._decided.add(slot)
+        self._store.append(WalDecide(self.instance, slot, value))
+
+
+class ReplicaStore:
+    """The durable state of one replica, in one directory."""
+
+    def __init__(
+        self,
+        data_dir: str | Path,
+        *,
+        fsync: bool = True,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self.data_dir = Path(data_dir)
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._m_appends = self.metrics.counter("wal.appends")
+        self._m_fsyncs = self.metrics.counter("wal.fsyncs")
+        self._m_bytes = self.metrics.counter("wal.bytes")
+        self._m_checkpoints = self.metrics.counter("wal.checkpoints")
+        self._m_recovery = self.metrics.histogram("recovery.duration")
+
+        started = time.perf_counter()
+        self.recovered = self._load()
+        self.recovered.duration = time.perf_counter() - started
+        self._m_recovery.record(self.recovered.duration)
+        self.metrics.counter("recovery.runs").inc()
+        self.metrics.counter("recovery.replayed_records").inc(self.recovered.records)
+        self.metrics.counter("recovery.torn_bytes").inc(self.recovered.torn_bytes)
+
+        #: epoch -> WalEpochOpen already durable (dedup for log_epoch_open).
+        self._epochs_logged: dict[int, WalEpochOpen] = {
+            eo.config.epoch: eo for eo in self.recovered.epochs
+        }
+        self._handles: dict[str, InstanceDurability] = {}
+        self._ckpt_seq = (
+            self.recovered.checkpoint.seq if self.recovered.checkpoint else 0
+        )
+        self._writer = WalWriter(
+            self._segment_path(self._next_segment_index()),
+            fsync=fsync,
+            on_append=self._on_append,
+        )
+        self.closed = False
+
+    # -- loading ------------------------------------------------------------
+
+    def _segments(self) -> list[Path]:
+        return sorted(self.data_dir.glob(f"{_SEGMENT_PREFIX}*.log"))
+
+    def _checkpoints(self) -> list[Path]:
+        return sorted(self.data_dir.glob(f"{_CKPT_PREFIX}*.bin"))
+
+    def _segment_path(self, index: int) -> Path:
+        return self.data_dir / f"{_SEGMENT_PREFIX}{index:06d}.log"
+
+    def _next_segment_index(self) -> int:
+        segments = self._segments()
+        if not segments:
+            return 1
+        return int(segments[-1].stem[len(_SEGMENT_PREFIX):]) + 1
+
+    def _load(self) -> RecoveredState:
+        checkpoint = self._load_checkpoint()
+        records: list[Any] = []
+        torn = 0
+        for segment in self._segments():
+            segment_records, segment_torn = read_wal_file(segment, truncate=True)
+            records.extend(segment_records)
+            torn += segment_torn
+        epoch_opens, instances = fold_records(records)
+        floor = (
+            checkpoint.exec_epoch
+            if checkpoint is not None
+            else min(epoch_opens, default=0)
+        )
+        # Drop state below the execution floor: those engines are never
+        # rebuilt (see the module docstring — silence is safe, amnesia is
+        # not), so carrying their state forward would only grow the log.
+        epochs = [epoch_opens[e] for e in sorted(epoch_opens) if e >= floor]
+        live_instances = {
+            instance: state
+            for instance, state in instances.items()
+            if not state.empty
+            and ((epoch := _instance_epoch(instance)) is None or epoch >= floor)
+        }
+        return RecoveredState(
+            checkpoint=checkpoint,
+            epochs=epochs,
+            instances=live_instances,
+            records=len(records),
+            torn_bytes=torn,
+        )
+
+    def _load_checkpoint(self) -> CheckpointRecord | None:
+        # Newest first; fall back on a torn or corrupt newest checkpoint
+        # (a crash mid-checkpoint leaves the previous one untouched).
+        for path in reversed(self._checkpoints()):
+            try:
+                records, _ = read_wal_bytes(path.read_bytes())
+            except OSError:
+                continue
+            if records and isinstance(records[0], CheckpointRecord):
+                return records[0]
+        return None
+
+    # -- appending ----------------------------------------------------------
+
+    def _on_append(self, frame_bytes: int, fsynced: bool) -> None:
+        self._m_appends.inc()
+        self._m_bytes.inc(frame_bytes)
+        if fsynced:
+            self._m_fsyncs.inc()
+
+    def append(self, record: Any) -> None:
+        """Durably append one record to the active segment."""
+        self._writer.append(record)
+
+    def instance(self, instance_id: str) -> InstanceDurability:
+        """The durability handle for one engine instance (cached)."""
+        handle = self._handles.get(instance_id)
+        if handle is None:
+            handle = self._handles[instance_id] = InstanceDurability(
+                self, instance_id, self.recovered.instances.get(instance_id)
+            )
+        return handle
+
+    def log_epoch_open(
+        self, config: Configuration, prev_members: Membership | None
+    ) -> None:
+        """Record an epoch transition (idempotent per epoch)."""
+        if config.epoch in self._epochs_logged:
+            return
+        record = WalEpochOpen(config, prev_members)
+        self._epochs_logged[config.epoch] = record
+        self.append(record)
+
+    # -- checkpoints ---------------------------------------------------------
+
+    def checkpoint(
+        self,
+        *,
+        exec_epoch: int,
+        executed: int,
+        virtual_index: int,
+        app_state: Any,
+        now: float = 0.0,
+    ) -> int:
+        """Write a checkpoint, then compact the WAL behind it.
+
+        Returns the checkpoint sequence number. Crash-safe at every step:
+        the checkpoint lands via write-new-then-delete-old (never rename
+        over the live one), and compaction writes the fresh segment
+        completely before removing its predecessors — a crash in between
+        leaves duplicates, which :func:`fold_records` absorbs.
+        """
+        self._ckpt_seq += 1
+        seq = self._ckpt_seq
+        self.metrics.span_event(SPAN_CHECKPOINT, seq, "begin", now)
+        record = CheckpointRecord(
+            seq=seq,
+            exec_epoch=exec_epoch,
+            executed=executed,
+            virtual_index=virtual_index,
+            app_state=app_state,
+        )
+        path = self.data_dir / f"{_CKPT_PREFIX}{seq:06d}.bin"
+        tmp = path.with_suffix(".tmp")
+        frame = frame_record(codec.encode_payload(record, "binary"))
+        with open(tmp, "wb") as handle:
+            handle.write(frame)
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        tmp.replace(path)
+        self.metrics.span_event(SPAN_CHECKPOINT, seq, "written", now)
+        self._m_checkpoints.inc()
+        self._compact(exec_epoch)
+        self.metrics.span_event(SPAN_CHECKPOINT, seq, "compacted", now)
+        for stale in self._checkpoints()[:-_CKPT_KEEP]:
+            stale.unlink(missing_ok=True)
+        return seq
+
+    def _compact(self, floor_epoch: int) -> None:
+        """Rewrite the WAL keeping only state for epochs >= ``floor_epoch``.
+
+        Promise safety across the drop: an instance below the floor is
+        fully executed and sealed everywhere this replica's state
+        matters, and recovery will not rebuild its engine — a missing
+        engine never answers a Prepare or Accept, which is always safe.
+        """
+        old_segments = self._segments()
+        records: list[Any] = []
+        for segment in old_segments:
+            segment_records, _ = read_wal_file(segment, truncate=False)
+            records.extend(segment_records)
+        epoch_opens, instances = fold_records(records)
+
+        new_index = self._next_segment_index()
+        writer = WalWriter(
+            self._segment_path(new_index), fsync=self.fsync, on_append=self._on_append
+        )
+        try:
+            for epoch in sorted(epoch_opens):
+                if epoch >= floor_epoch:
+                    writer.append(epoch_opens[epoch])
+            for instance in sorted(instances):
+                epoch = _instance_epoch(instance)
+                if epoch is not None and epoch < floor_epoch:
+                    continue
+                state = instances[instance]
+                if state.promised > Ballot.ZERO:
+                    writer.append(WalPromise(instance, state.promised))
+                for slot in sorted(state.accepted):
+                    ballot, value = state.accepted[slot]
+                    writer.append(WalAccept(instance, slot, ballot, value))
+                for slot in sorted(state.decided):
+                    writer.append(WalDecide(instance, slot, state.decided[slot]))
+            writer.sync()
+        finally:
+            writer.close()
+
+        old_writer = self._writer
+        self._writer = WalWriter(
+            self._segment_path(new_index + 1),
+            fsync=self.fsync,
+            on_append=self._on_append,
+        )
+        old_writer.close()
+        for segment in old_segments:
+            segment.unlink(missing_ok=True)
+
+    # -- introspection -------------------------------------------------------
+
+    def status(self) -> dict[str, Any]:
+        """Plain-container summary for admin endpoints and logs."""
+        rec = self.recovered
+        return {
+            "durable": True,
+            "fsync": self.fsync,
+            "recovered": rec.has_state,
+            "wal_records": rec.records,
+            "torn_bytes": rec.torn_bytes,
+            "epochs": len(rec.epochs),
+            "instances": len(rec.instances),
+            "checkpoint_seq": rec.checkpoint.seq if rec.checkpoint else 0,
+            "recovery_seconds": round(rec.duration, 6),
+        }
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self._writer.close()

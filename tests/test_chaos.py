@@ -462,3 +462,43 @@ class TestTransportRng:
         assert unseeded.rng is random  # module-level fallback
         unseeded.bind_rng(ambient)
         assert unseeded.rng is ambient
+
+
+class TestControllerFailureLogging:
+    """Regression: an action that blows up mid-apply must still land in
+    the injection log before the exception propagates — otherwise the
+    report shows fewer injections than the schedule and the run looks
+    healthier than it was."""
+
+    class _ExplodingCluster:
+        """Duck-typed LocalCluster whose respawn wedges hard enough to
+        raise something outside _apply's (RuntimeError, TimeoutError)
+        net — exactly what subprocess.Popen.wait does on a stuck child."""
+
+        initial = ["n1"]
+        addresses = {"n1": ("127.0.0.1", 1)}
+        procs: dict = {}
+
+        def kill(self, name):
+            pass
+
+        def restart(self, name, wait=True, timeout=15.0, amnesia=None):
+            import subprocess
+
+            raise subprocess.TimeoutExpired(cmd=["serve", name], timeout=timeout)
+
+    def test_failed_action_is_logged_then_raised(self):
+        import subprocess
+
+        schedule = FailureSchedule().crash(0.0, "n1").restart(0.0, "n1")
+        controller = ChaosController(self._ExplodingCluster(), schedule)
+        with pytest.raises(subprocess.TimeoutExpired):
+            controller.run()
+        # Both actions are in the log: the crash that worked and the
+        # restart that exploded (with no acks).
+        assert [type(i.action).__name__ for i in controller.log] == [
+            "CrashAt",
+            "RestartAt",
+        ]
+        assert controller.log[-1].acks == ()
+        assert any("RestartAt" in err for err in controller.errors)

@@ -31,6 +31,13 @@ from repro.core.state_transfer import (
 from repro.net import codec
 from repro.net.chaos import ChaosAck, ChaosCommand
 from repro.net.observe import MetricsRequest, MetricsSnapshot
+from repro.storage.records import (
+    CheckpointRecord,
+    WalAccept,
+    WalDecide,
+    WalEpochOpen,
+    WalPromise,
+)
 from repro.types import (
     ClientId,
     Command,
@@ -200,7 +207,25 @@ STRATEGIES: dict[type, st.SearchStrategy] = {
         st.lists(node_ids, max_size=3).map(tuple),
         st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
     ),
-    ChaosAck: st.builds(ChaosAck, command_ids, node_ids, names, st.booleans()),
+    ChaosAck: st.builds(
+        ChaosAck, command_ids, node_ids, names, st.booleans(), st.text(max_size=40)
+    ),
+    WalPromise: st.builds(WalPromise, names, ballots),
+    WalAccept: st.builds(
+        WalAccept, names, slots, ballots, st.one_of(commands, batches, values)
+    ),
+    WalDecide: st.builds(WalDecide, names, slots, st.one_of(commands, values)),
+    WalEpochOpen: st.builds(
+        WalEpochOpen, configurations, st.one_of(st.none(), memberships)
+    ),
+    CheckpointRecord: st.builds(
+        CheckpointRecord,
+        st.integers(min_value=1, max_value=2**31),
+        epochs,
+        slots,
+        slots,
+        values,
+    ),
     MetricsRequest: st.builds(MetricsRequest, command_ids),
     MetricsSnapshot: st.builds(
         MetricsSnapshot,
