@@ -1,0 +1,227 @@
+"""T13 shard benchmark: aggregate throughput vs group count, plus safety.
+
+Two measurements, written together to ``BENCH_shard.json``:
+
+* **scale sweep** — for each group count N, a :class:`ShardedCluster` of
+  N real 3-replica groups behind one shard map, driven by a single
+  :class:`ShardClient` pipelining a fixed workload (the client partitions
+  ops by group and drives every group from its own thread, so the groups
+  commit in parallel). Reports aggregate committed ops/s, p50/p99 client
+  latency, and the key spread.
+* **split under load** — the T13 scenario: a drain-and-cutover split
+  while concurrent clients keep writing, with the merged history checked
+  by the Wing & Gong oracle. The benchmark records the verdict; a
+  non-linearizable run fails the gate unconditionally.
+
+Honesty note on scaling: N groups of 3 replicas is ``3N + 1`` Python
+processes plus the driving client. Near-linear scaling needs at least one
+core per replica; on the 1-CPU containers this repo is usually built in,
+every group timeslices the same core and aggregate throughput stays
+roughly flat (the sweep then measures sharding *overhead*, which has its
+own floor gate). The report records ``cpus`` and the speedup gate arms
+itself only when ``cpus >= 2 * max(group_counts)``.
+
+Run via ``repro bench shard [--smoke] [--groups 1,2,4]``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Any
+
+from repro.metrics import Table, percentile, summarize_throughput
+
+#: Speedup gates only arm with enough cores to actually run groups in
+#: parallel; below this the sweep degrades into an overhead measurement.
+MIN_CPUS_PER_GROUP = 2
+
+
+def bench_scale(
+    seed: int,
+    smoke: bool,
+    wire: str | None,
+    group_counts: tuple[int, ...],
+) -> dict[str, Any]:
+    """Aggregate pipelined throughput through N groups, for each N."""
+    from repro.shard.cluster import ShardedCluster
+
+    ops = 240 if smoke else 1200
+    warmup = 16 if smoke else 64
+    window = 32
+    results: dict[str, Any] = {"ops": ops, "window": window, "by_groups": {}}
+    for count in group_counts:
+        with ShardedCluster(
+            count, replicas_per_group=3, seed=seed, wire=wire
+        ) as cluster:
+            cluster.start()
+            with cluster.client(f"bench-{count}") as client:
+                client.submit_pipelined(
+                    [("set", (f"warm-{i}", i), 64) for i in range(warmup)],
+                    window=window,
+                )
+                workload = [
+                    ("set", (f"key-{i % 256}", i), 64) for i in range(ops)
+                ]
+                start = time.perf_counter()
+                latencies = client.submit_pipelined(workload, window=window)
+                elapsed = time.perf_counter() - start
+                spread = client.shard_map.spread(
+                    [f"key-{i}" for i in range(256)]
+                )
+        ms = [lat * 1000.0 for lat in latencies]
+        throughput = summarize_throughput(ops, elapsed)
+        results["by_groups"][str(count)] = {
+            "groups": count,
+            "replicas": 3 * count,
+            "elapsed_s": round(elapsed, 4),
+            "ops_per_s": round(throughput.ops_per_s, 1),
+            "p50_ms": round(percentile(ms, 50), 3),
+            "p99_ms": round(percentile(ms, 99), 3),
+            "spread": dict(sorted(spread.items())),
+        }
+    base = results["by_groups"][str(group_counts[0])]["ops_per_s"]
+    for count in group_counts:
+        row = results["by_groups"][str(count)]
+        row["speedup"] = round(row["ops_per_s"] / base, 3) if base else 0.0
+    return results
+
+
+def bench_split(seed: int, smoke: bool, wire: str | None) -> dict[str, Any]:
+    """Split-under-load linearizability cell (the T13 scenario)."""
+    from repro.shard.scenario import run_split_scenario
+
+    report = run_split_scenario(
+        groups=2 if smoke else 3,
+        replicas_per_group=3,
+        clients=2 if smoke else 3,
+        keys=12 if smoke else 24,
+        seed=seed,
+        wire=wire,
+        settle=0.6,
+    )
+    for line in report.lines():
+        print(f"  {line}")
+    return {
+        "groups": report.groups,
+        "clients": report.clients,
+        "elapsed_s": round(report.elapsed, 2),
+        "version_before": report.version_before,
+        "version_after": report.version_after,
+        "moved": list(report.moved) if report.moved else None,
+        "ops_total": report.ops_total,
+        "ops_pending": report.ops_pending,
+        "linearizable": bool(report.linearizable and report.linearizable.ok),
+        "checked_ops": report.linearizable.checked_ops
+        if report.linearizable
+        else 0,
+        "errors": list(report.errors),
+        "ok": report.ok,
+    }
+
+
+def _render(scale: dict[str, Any], split: dict[str, Any] | None) -> None:
+    table = Table(
+        "T13 shard scale sweep (pipelined client, 3 replicas/group)",
+        ["groups", "procs", "ops", "ops/s", "speedup", "p50 ms", "p99 ms"],
+    )
+    for row in scale["by_groups"].values():
+        table.add_row(
+            row["groups"], row["replicas"], scale["ops"],
+            f"{row['ops_per_s']:.0f}", f"{row['speedup']:.2f}x",
+            f"{row['p50_ms']:.2f}", f"{row['p99_ms']:.2f}",
+        )
+    print(table.render())
+    print()
+    if split is None:
+        return
+    verdict = "LINEARIZABLE" if split["linearizable"] else "VIOLATION"
+    print(
+        f"split under load: map v{split['version_before']} -> "
+        f"v{split['version_after']}, "
+        f"{split['ops_total'] - split['ops_pending']} ops checked, {verdict}"
+    )
+    print()
+
+
+def run_shard_bench(
+    smoke: bool = False,
+    out: str = "BENCH_shard.json",
+    seed: int = 42,
+    wire: str | None = None,
+    group_counts: tuple[int, ...] | None = None,
+) -> int:
+    """Run the shard benchmark; returns a regression-gate exit code.
+
+    Unconditional gates: every cell commits its full workload, the split
+    stays linearizable, and sharding overhead stays bounded — aggregate
+    throughput must hold a floor fraction of the single-group rate at the
+    largest group count the machine can host without extreme
+    oversubscription (``N <= 2 * cpus``; beyond that the cell measures
+    the scheduler, so it is recorded but not gated). The *speedup* gate —
+    aggregate >= half the group count — only arms when the machine has at
+    least ``MIN_CPUS_PER_GROUP`` cores per group.
+    """
+    if group_counts is None:
+        group_counts = (1, 3) if smoke else (1, 2, 4, 8)
+    group_counts = tuple(sorted(set(group_counts)))
+    cpus = os.cpu_count() or 1
+    mode = "smoke" if smoke else "full"
+    print(f"T13 shard benchmark ({mode}, seed={seed}, cpus={cpus}, "
+          f"groups={','.join(map(str, group_counts))})")
+    scale = bench_scale(seed, smoke, wire, group_counts)
+    split = bench_split(seed, smoke, wire)
+    _render(scale, split)
+
+    top = max(group_counts)
+    speedup_armed = cpus >= MIN_CPUS_PER_GROUP * top
+    hostable = [n for n in group_counts if n <= 2 * cpus]
+    gate_count = max(hostable) if hostable else min(group_counts)
+    report = {
+        "bench": "T13-shard",
+        "mode": mode,
+        "seed": seed,
+        "cpus": cpus,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "group_counts": list(group_counts),
+        "speedup_gate_armed": speedup_armed,
+        "overhead_gate_groups": gate_count,
+        "scale": scale,
+        "split": split,
+    }
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {out}")
+
+    overhead_floor = 0.5 if smoke else 0.8
+    failures: list[str] = []
+    gate_row = scale["by_groups"][str(gate_count)]
+    top_row = scale["by_groups"][str(top)]
+    if gate_row["speedup"] < overhead_floor:
+        failures.append(
+            f"{gate_count} groups run at {gate_row['speedup']:.2f}x the "
+            f"single-group rate (floor {overhead_floor}x): sharding "
+            f"overhead regression"
+        )
+    if gate_count < top:
+        print(f"overhead gate applied at {gate_count} groups; counts above "
+              f"2*cpus={2 * cpus} are recorded but not gated")
+    if speedup_armed and top_row["speedup"] < 0.5 * top:
+        failures.append(
+            f"{top} groups only {top_row['speedup']:.2f}x with {cpus} cpus "
+            f"(floor {0.5 * top:.1f}x)"
+        )
+    elif not speedup_armed:
+        print(f"speedup gate not armed: {cpus} cpu(s) for {top} groups "
+              f"(need >= {MIN_CPUS_PER_GROUP * top})")
+    if not split["linearizable"]:
+        failures.append("split under load was NOT linearizable")
+    if split["errors"]:
+        failures.append(f"split scenario errors: {split['errors']}")
+    for failure in failures:
+        print(f"REGRESSION: {failure}")
+    return 1 if failures else 0

@@ -129,6 +129,27 @@ def _app_factory(name: str):
     return factory
 
 
+def _parse_group_peers(
+    specs: list[str],
+) -> dict[str, dict[str, tuple[str, int]]]:
+    """Parse repeated ``--peers`` values, optionally group-labelled.
+
+    Each value is either a plain address book (``n1=host:port,...``) or
+    one prefixed with a group label (``g1:n1=host:port,...``). Plain
+    books land under the empty label, so single-cluster invocations keep
+    their old shape while sharded ones get per-group snapshots.
+    """
+    groups: dict[str, dict[str, tuple[str, int]]] = {}
+    for spec in specs:
+        head, sep, rest = spec.partition(":")
+        if sep and "=" not in head:
+            label, book = head, rest
+        else:
+            label, book = "", spec
+        groups.setdefault(label, {}).update(_parse_peers(book))
+    return groups
+
+
 def _parse_peers(spec: str) -> dict[str, tuple[str, int]]:
     """Parse ``n1=127.0.0.1:9101,n2=...`` into an address book."""
     book: dict[str, tuple[str, int]] = {}
@@ -194,6 +215,22 @@ def _cmd_serve(args: "argparse.Namespace") -> int:
         engine_factory=MultiPaxosEngine.factory(),
         checkpoint_interval=args.checkpoint_interval,
     )
+    app_factory = _app_factory(args.app)
+    if args.shard_group:
+        if args.app != "kv":
+            raise SystemExit("--shard-group requires --app kv")
+        from repro.apps.shardkv import ShardedKvStateMachine
+        from repro.shard.shardmap import parse_ranges
+
+        shard_group = args.shard_group
+        shard_owned = parse_ranges(args.shard_ranges)
+        shard_version = args.shard_version
+
+        def app_factory() -> ShardedKvStateMachine:  # type: ignore[misc]
+            return ShardedKvStateMachine(
+                group=shard_group, owned=shard_owned, version=shard_version
+            )
+
     initial_config = None
     if args.initial:
         members = [m.strip() for m in args.initial.split(",") if m.strip()]
@@ -202,7 +239,7 @@ def _cmd_serve(args: "argparse.Namespace") -> int:
     replica = ReconfigurableReplica(
         runtime,
         NodeId(args.node),
-        _app_factory(args.app),
+        app_factory,
         params,
         initial_config=initial_config,
         storage=storage,
@@ -217,8 +254,13 @@ def _cmd_serve(args: "argparse.Namespace") -> int:
               f"({stat['recovery_seconds'] * 1000:.1f}ms, fsync="
               f"{'on' if storage.fsync else 'off'})",
               flush=True)
+    shard_note = ""
+    if args.shard_group:
+        shard_note = (f", shard={args.shard_group} "
+                      f"ranges={args.shard_ranges or '(none)'}")
     print(f"[{args.node}] serving on {host}:{port} "
-          f"(app={args.app}, member={'yes' if initial_config else 'standby'})",
+          f"(app={args.app}, member={'yes' if initial_config else 'standby'}"
+          f"{shard_note})",
           flush=True)
     runtime.run(host, port)
     return 0
@@ -278,6 +320,111 @@ def _cmd_cluster(args: "argparse.Namespace") -> int:
     return 0
 
 
+def _cmd_shard_cluster(args: "argparse.Namespace") -> int:
+    """Launch a sharded multi-group cluster and drive a keyspace across it.
+
+    Writes ``--ops`` keys through a ShardClient, prints how the keyspace
+    spread over the groups, optionally splits the busiest group into a
+    spare under continued traffic, and verifies every key reads back
+    correctly from wherever it ended up.
+    """
+    from repro.shard.cluster import ShardedCluster
+
+    cluster = ShardedCluster(
+        args.groups,
+        replicas_per_group=args.replicas_per_group,
+        spare_groups=args.spare_groups,
+        seed=args.seed,
+        wire=args.wire,
+        verbose=args.verbose,
+    )
+    total = args.groups + args.spare_groups
+    print(f"starting {total} groups x {args.replicas_per_group} replicas "
+          f"({args.groups} serving, {args.spare_groups} spare; "
+          f"logs in {cluster.log_dir})")
+    with cluster:
+        cluster.start()
+        shard_map = cluster.shard_map
+        print(f"director on {cluster.director_address()[0]}:"
+              f"{cluster.director_address()[1]}; map v{shard_map.version}:")
+        for assignment in shard_map.assignments:
+            print(f"  {assignment.range} -> {assignment.group}")
+        keys = [f"key-{i:04d}" for i in range(args.ops)]
+        with cluster.client("cli") as client:
+            print(f"writing {args.ops} keys through the shard router ...")
+            for i, key in enumerate(keys):
+                client.submit("set", (key, i))
+            spread = cluster.shard_map.spread(keys)
+            print("keys per group: "
+                  + ", ".join(f"{g}={n}" for g, n in sorted(spread.items())))
+            starved = [
+                g for g in cluster.serving
+                if spread.get(g, 0) == 0 and args.ops >= 8 * args.groups
+            ]
+            if starved:
+                print(f"FAIL: serving groups own no keys: {starved}",
+                      file=sys.stderr)
+                return 1
+            if args.split:
+                target = (cluster.spares[0] if cluster.spares
+                          else min(spread, key=lambda g: (spread[g], g)))
+                source = max(spread, key=lambda g: (spread[g], g))
+                print(f"splitting {source} into {target} ...")
+                new_map = cluster.split(source, target=target)
+                print(f"map now v{new_map.version}:")
+                for assignment in new_map.assignments:
+                    print(f"  {assignment.range} -> {assignment.group}")
+            print("verifying read-back of every key ...")
+            for i, key in enumerate(keys):
+                reply = client.submit("get", (key,), size=32)
+                if reply.value != i:
+                    print(f"FAIL: {key} read back {reply.value!r}, "
+                          f"expected {i}", file=sys.stderr)
+                    return 1
+        if not args.no_metrics:
+            from repro.net.observe import group_summary_table, poll_groups
+
+            fetched, errors = poll_groups(
+                cluster.group_endpoints(), wire_format=args.wire
+            )
+            print(group_summary_table(fetched).render())
+            for error in errors:
+                print(f"note: {error}", file=sys.stderr)
+    print("sharded cluster shut down cleanly")
+    return 0
+
+
+def _cmd_shard_route(args: "argparse.Namespace") -> int:
+    """Ask a shard director where keys live (and show the map)."""
+    from repro.shard.client import ShardClientError, fetch_shard_map
+    from repro.shard.shardmap import key_point
+
+    try:
+        host, port_text = args.director.rsplit(":", 1)
+        address = (host, int(port_text))
+    except ValueError:
+        raise SystemExit(f"bad --director {args.director!r} (want host:port)")
+    try:
+        shard_map = fetch_shard_map(
+            address, timeout=args.timeout, wire_format=args.wire
+        )
+    except ShardClientError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+    print(f"shard map v{shard_map.version} "
+          f"({len(shard_map.assignments)} ranges, "
+          f"{len(shard_map.groups)} groups):")
+    for assignment in shard_map.assignments:
+        info = shard_map.group_info(assignment.group)
+        print(f"  {assignment.range} -> {assignment.group} "
+              f"[{','.join(info.members)}]")
+    for key in args.keys:
+        point = key_point(key)
+        print(f"  {key!r} -> point {point} -> "
+              f"{shard_map.group_for_point(point)}")
+    return 0
+
+
 def _cmd_metrics(args: "argparse.Namespace") -> int:
     """Poll a live cluster's ``#metrics`` endpoints and render the snapshots.
 
@@ -320,39 +467,88 @@ def _cmd_metrics(args: "argparse.Namespace") -> int:
     if not args.peers:
         print("--peers required (or use --demo)", file=sys.stderr)
         return 2
-    from repro.net.observe import poll_cluster
+    groups = _parse_group_peers(args.peers)
+    if set(groups) == {""}:
+        # Single unlabelled cluster: the original one-cluster behaviour.
+        from repro.net.observe import poll_cluster
 
-    addresses = _parse_peers(args.peers)
-    fetched, errors = poll_cluster(addresses, wire_format=args.wire)
-    snapshots = {node: f.snapshot for node, f in fetched.items()}
+        fetched, errors = poll_cluster(groups[""], wire_format=args.wire)
+        snapshots = {node: f.snapshot for node, f in fetched.items()}
+        if args.json:
+            print(snapshot_json(snapshots))
+        elif snapshots:
+            print(render_snapshots(snapshots))
+        if args.json_out and snapshots:
+            with open(args.json_out, "w") as handle:
+                handle.write(snapshot_json(snapshots) + "\n")
+        for error in errors:
+            print(f"note: {error}", file=sys.stderr)
+        return 0 if snapshots else 1
+    # Labelled groups: one call polls every shard and aggregates.
+    from repro.net.observe import poll_groups, render_group_snapshots
+
+    grouped, errors = poll_groups(groups, wire_format=args.wire)
+    got_any = any(grouped.values())
+
+    def grouped_json() -> str:
+        return json.dumps(
+            {
+                label: json.loads(
+                    snapshot_json(
+                        {n: f.snapshot for n, f in grouped[label].items()}
+                    )
+                )
+                for label in sorted(grouped)
+            },
+            indent=2, sort_keys=True,
+        )
+
     if args.json:
-        print(snapshot_json(snapshots))
-    elif snapshots:
-        print(render_snapshots(snapshots))
-    if args.json_out and snapshots:
+        print(grouped_json())
+    elif got_any:
+        print(render_group_snapshots(grouped))
+    if args.json_out and got_any:
         with open(args.json_out, "w") as handle:
-            handle.write(snapshot_json(snapshots) + "\n")
+            handle.write(grouped_json() + "\n")
     for error in errors:
         print(f"note: {error}", file=sys.stderr)
-    return 0 if snapshots else 1
+    return 0 if got_any else 1
 
 
 def _cmd_top(args: "argparse.Namespace") -> int:
-    """Repeatedly poll a live cluster and render snapshot tables."""
-    from repro.net.observe import poll_cluster, render_snapshots
+    """Repeatedly poll one or many clusters and render snapshot tables.
 
-    addresses = _parse_peers(args.peers)
+    With group-labelled ``--peers`` (``g1:n1=host:port,...``, repeated),
+    every poll aggregates the shards into one summary table plus
+    per-group detail; unlabelled peers keep the single-cluster view.
+    """
+    from repro.net.observe import (
+        poll_cluster,
+        poll_groups,
+        render_group_snapshots,
+        render_snapshots,
+    )
+
+    groups = _parse_group_peers(args.peers)
+    sharded = set(groups) != {""}
     for iteration in range(args.iterations):
         if iteration:
             time.sleep(args.interval)
-        fetched, errors = poll_cluster(addresses, wire_format=args.wire)
-        snapshots = {node: f.snapshot for node, f in fetched.items()}
         print(f"--- poll {iteration + 1}/{args.iterations} ---")
-        if snapshots:
-            print(render_snapshots(snapshots))
+        if sharded:
+            grouped, errors = poll_groups(groups, wire_format=args.wire)
+            got_any = any(grouped.values())
+            if got_any:
+                print(render_group_snapshots(grouped))
+        else:
+            fetched, errors = poll_cluster(groups[""], wire_format=args.wire)
+            snapshots = {node: f.snapshot for node, f in fetched.items()}
+            got_any = bool(snapshots)
+            if got_any:
+                print(render_snapshots(snapshots))
         for error in errors:
             print(f"note: {error}", file=sys.stderr)
-        if not snapshots:
+        if not got_any:
             return 1
     return 0
 
@@ -450,6 +646,15 @@ def main(argv: list[str] | None = None) -> int:
                        metavar="SECONDS",
                        help="period of durable state-machine checkpoints "
                        "(0 = only at epoch boundaries; needs --data-dir)")
+    serve.add_argument("--shard-group", default="",
+                       help="serve as one group of a sharded service: the "
+                       "group's name (requires --app kv; wraps the store "
+                       "in ownership enforcement)")
+    serve.add_argument("--shard-ranges", default="", metavar="LO-HI[,...]",
+                       help="hash ranges this group owns at boot "
+                       "(empty = a spare group owning nothing)")
+    serve.add_argument("--shard-version", type=int, default=1,
+                       help="shard-map version the boot ownership is from")
 
     cluster = sub.add_parser(
         "cluster", help="launch a live localhost cluster and drive it"
@@ -466,6 +671,41 @@ def main(argv: list[str] | None = None) -> int:
     cluster.add_argument("--wire", default=None, choices=["json", "binary"],
                          help="wire format for replicas and the driver client")
     cluster.add_argument("--verbose", action="store_true")
+
+    shard_cluster = sub.add_parser(
+        "shard-cluster",
+        help="launch N reconfigurable-SMR groups behind a shard map "
+        "and drive a keyspace across them",
+    )
+    shard_cluster.add_argument("--groups", type=int, default=3,
+                               help="serving groups (each a full cluster)")
+    shard_cluster.add_argument("--replicas-per-group", type=int, default=3)
+    shard_cluster.add_argument("--spare-groups", type=int, default=0,
+                               help="extra groups owning nothing, as "
+                               "targets for --split")
+    shard_cluster.add_argument("--ops", type=int, default=64,
+                               help="keys to write through the router")
+    shard_cluster.add_argument("--split", action="store_true",
+                               help="split the busiest group mid-run and "
+                               "verify the keyspace survives the cutover")
+    shard_cluster.add_argument("--no-metrics", action="store_true",
+                               help="skip the per-group metrics summary")
+    shard_cluster.add_argument("--seed", type=int, default=42)
+    shard_cluster.add_argument("--wire", default=None,
+                               choices=["json", "binary"])
+    shard_cluster.add_argument("--verbose", action="store_true")
+
+    shard_route = sub.add_parser(
+        "shard-route",
+        help="ask a shard director for its map and where keys live",
+    )
+    shard_route.add_argument("--director", required=True, metavar="HOST:PORT",
+                             help="the director's map endpoint")
+    shard_route.add_argument("keys", nargs="*", default=[],
+                             help="keys to resolve (may be empty)")
+    shard_route.add_argument("--timeout", type=float, default=2.0)
+    shard_route.add_argument("--wire", default=None,
+                             choices=["json", "binary"])
 
     chaos = sub.add_parser(
         "chaos",
@@ -501,8 +741,10 @@ def main(argv: list[str] | None = None) -> int:
         "metrics",
         help="poll a live cluster's #metrics endpoints and render snapshots",
     )
-    metrics.add_argument("--peers", default="",
-                         help="address book: n1=host:port,n2=host:port,...")
+    metrics.add_argument("--peers", action="append", default=[],
+                         help="address book: n1=host:port,... — repeat "
+                         "with group labels (g1:n1=host:port,...) to poll "
+                         "several shards and aggregate in one call")
     metrics.add_argument("--demo", action="store_true",
                          help="self-contained: spin up a cluster, reconfigure "
                          "it, and show the resulting snapshot")
@@ -518,8 +760,10 @@ def main(argv: list[str] | None = None) -> int:
     top = sub.add_parser(
         "top", help="repeatedly poll a live cluster's metrics (watch mode)"
     )
-    top.add_argument("--peers", required=True,
-                     help="address book: n1=host:port,n2=host:port,...")
+    top.add_argument("--peers", action="append", required=True,
+                     help="address book: n1=host:port,... — repeat with "
+                     "group labels (g1:n1=host:port,...) for a sharded "
+                     "service's aggregated view")
     top.add_argument("--interval", type=float, default=2.0,
                      help="seconds between polls")
     top.add_argument("--iterations", type=int, default=5,
@@ -541,6 +785,21 @@ def main(argv: list[str] | None = None) -> int:
     wire.add_argument("--seed", type=int, default=42)
     wire.add_argument("--skip-live", action="store_true",
                       help="codec micro-benchmark only (no subprocesses)")
+    shard_bench = bench_sub.add_parser(
+        "shard", help="aggregate throughput vs group count + "
+        "split-under-load verdict; writes BENCH_shard.json"
+    )
+    shard_bench.add_argument("--smoke", action="store_true",
+                             help="small sizes for CI (<60s): fewer "
+                             "group counts, shorter measurement windows")
+    shard_bench.add_argument("--out", default="BENCH_shard.json",
+                             help="output path (default: BENCH_shard.json)")
+    shard_bench.add_argument("--groups", default=None,
+                             help="comma-separated group counts to sweep "
+                             "(default: 1,2,4,8 or 1,3 with --smoke)")
+    shard_bench.add_argument("--seed", type=int, default=42)
+    shard_bench.add_argument("--wire", default=None,
+                             choices=["json", "binary"])
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -559,16 +818,32 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_metrics(args)
     if args.command == "top":
         return _cmd_top(args)
+    if args.command == "shard-cluster":
+        return _cmd_shard_cluster(args)
+    if args.command == "shard-route":
+        return _cmd_shard_route(args)
     if args.command == "bench":
-        if args.bench_target != "wire":
-            bench.print_help()
-            return 1
-        from repro.bench.wirebench import run_wire_bench
+        if args.bench_target == "wire":
+            from repro.bench.wirebench import run_wire_bench
 
-        return run_wire_bench(
-            smoke=args.smoke, out=args.out, seed=args.seed,
-            skip_live=args.skip_live,
-        )
+            return run_wire_bench(
+                smoke=args.smoke, out=args.out, seed=args.seed,
+                skip_live=args.skip_live,
+            )
+        if args.bench_target == "shard":
+            from repro.bench.shardbench import run_shard_bench
+
+            group_counts = None
+            if args.groups:
+                group_counts = tuple(
+                    int(part) for part in args.groups.split(",") if part
+                )
+            return run_shard_bench(
+                smoke=args.smoke, out=args.out, seed=args.seed,
+                wire=args.wire, group_counts=group_counts,
+            )
+        bench.print_help()
+        return 1
     parser.print_help()
     return 1
 

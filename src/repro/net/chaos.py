@@ -431,9 +431,12 @@ class HistoryRecorder:
     checker soundly considers both possibilities.
     """
 
-    def __init__(self, client: "LiveClient"):
+    def __init__(self, client: "LiveClient", t0: float | None = None):
         self.client = client
-        self._t0 = time.monotonic()
+        #: timebase for invocation/response instants. Recorders whose
+        #: operations are merged into ONE history must share a t0 —
+        #: per-recorder clocks would skew real-time order across clients.
+        self._t0 = time.monotonic() if t0 is None else t0
         self.operations: list[Operation] = []
 
     def submit(

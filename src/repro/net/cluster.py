@@ -75,6 +75,7 @@ class LocalCluster:
         durable: bool = False,
         data_root: str | Path | None = None,
         fsync: bool = False,
+        extra_args: list[str] | None = None,
     ):
         if replicas < 1:
             raise ValueError("need at least one replica")
@@ -91,6 +92,9 @@ class LocalCluster:
         self.chaos = chaos
         #: respawn budget per replica for bind-time port races.
         self.spawn_retries = spawn_retries
+        #: extra ``repro serve`` flags appended to every replica's argv
+        #: (e.g. the shard ownership flags a ShardedCluster passes down).
+        self.extra_args = list(extra_args or [])
         names = [f"n{i + 1}" for i in range(replicas + reserve)]
         #: members of epoch 0; the rest of the book is reserved for joiners.
         self.initial = names[:replicas]
@@ -166,6 +170,7 @@ class LocalCluster:
             argv += ["--initial", ",".join(self.initial)]
         if self.verbose:
             argv += ["--verbose"]
+        argv += self.extra_args
         env = dict(os.environ)
         src_root = str(Path(__file__).resolve().parents[2])
         env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")

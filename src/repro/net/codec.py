@@ -124,6 +124,8 @@ def _bootstrap() -> None:
     from repro.core import state_transfer as st
     from repro.net import chaos as ch
     from repro.net import observe as ob
+    from repro.shard import messages as sm
+    from repro.shard import shardmap as smap
     from repro.storage import records as sr
 
     protocol: Iterable[type] = (
@@ -176,6 +178,19 @@ def _bootstrap() -> None:
         # observability admin protocol (the #metrics endpoint)
         ob.MetricsRequest,
         ob.MetricsSnapshot,
+        # shard protocol: the map itself, fetch/route, redirects, admin
+        smap.KeyRange,
+        smap.ShardAssignment,
+        smap.GroupInfo,
+        smap.ShardMap,
+        sm.ShardMapRequest,
+        sm.ShardMapReply,
+        sm.RouteRequest,
+        sm.RouteReply,
+        sm.WrongShard,
+        sm.SplitShard,
+        sm.MoveShard,
+        sm.ShardAck,
         # durable storage records (WAL + checkpoints; disk, not wire)
         sr.WalPromise,
         sr.WalAccept,

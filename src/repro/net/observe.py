@@ -244,6 +244,45 @@ def poll_cluster(
     return snapshots, errors
 
 
+def poll_groups(
+    groups: dict[str, dict[str, "Address"]],
+    *,
+    timeout: float = 2.0,
+    wire_format: str | None = None,
+) -> tuple[dict[str, dict[str, FetchedSnapshot]], list[str]]:
+    """Poll several clusters' endpoints in one call (per-shard snapshots).
+
+    ``groups`` maps a group label to that group's address book; each
+    group is polled on its own thread so one slow shard does not stretch
+    the whole poll, and the result keeps the per-group structure that
+    :func:`group_commit_totals` / :func:`render_group_snapshots`
+    aggregate. Error strings are prefixed with the group label.
+    """
+    import threading
+
+    fetched: dict[str, dict[str, FetchedSnapshot]] = {}
+    errors: list[str] = []
+    lock = threading.Lock()
+
+    def poll_one(label: str, addresses: dict[str, "Address"]) -> None:
+        snapshots, group_errors = poll_cluster(
+            addresses, timeout=timeout, wire_format=wire_format
+        )
+        with lock:
+            fetched[label] = snapshots
+            errors.extend(f"{label}: {error}" for error in group_errors)
+
+    threads = [
+        threading.Thread(target=poll_one, args=item, daemon=True)
+        for item in groups.items()
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=timeout + 5.0)
+    return fetched, errors
+
+
 # ---------------------------------------------------------------------------
 # Snapshot digestion + rendering
 # ---------------------------------------------------------------------------
@@ -353,6 +392,63 @@ def snapshot_tables(snapshots: dict[str, MetricsSnapshot]) -> list[Table]:
 
 def render_snapshots(snapshots: dict[str, MetricsSnapshot]) -> str:
     return "\n\n".join(table.render() for table in snapshot_tables(snapshots))
+
+
+def group_commit_totals(
+    fetched: dict[str, dict[str, FetchedSnapshot]],
+) -> dict[str, int]:
+    """Committed ops per group: the most-caught-up replica's total.
+
+    Every replica of a group applies the same virtual log, so the *max*
+    across its replicas (not the sum) is the group's committed-op count;
+    summing across **groups** is then meaningful — it is the sharded
+    service's aggregate work.
+    """
+    totals: dict[str, int] = {}
+    for label, snapshots in fetched.items():
+        totals[label] = max(
+            (
+                sum(epoch_commit_counts(f.snapshot).values())
+                for f in snapshots.values()
+            ),
+            default=0,
+        )
+    return totals
+
+
+def group_summary_table(
+    fetched: dict[str, dict[str, FetchedSnapshot]],
+) -> Table:
+    """One row per group: replicas polled, commits, epochs in use."""
+    totals = group_commit_totals(fetched)
+    table = Table("shard groups", ["group", "replicas", "commits", "epochs"])
+    for label in sorted(fetched):
+        snapshots = fetched[label]
+        epochs: set[int] = set()
+        for f in snapshots.values():
+            epochs.update(
+                e for e, c in epoch_commit_counts(f.snapshot).items() if c
+            )
+        table.add_row(
+            label, len(snapshots), totals[label],
+            ",".join(str(e) for e in sorted(epochs)) or "-",
+        )
+    table.add_row("total", sum(len(s) for s in fetched.values()),
+                  sum(totals.values()), "")
+    return table
+
+
+def render_group_snapshots(
+    fetched: dict[str, dict[str, FetchedSnapshot]],
+) -> str:
+    """The aggregate summary table followed by each group's full tables."""
+    parts = [group_summary_table(fetched).render()]
+    for label in sorted(fetched):
+        snapshots = {n: f.snapshot for n, f in fetched[label].items()}
+        if snapshots:
+            parts.append(f"=== group {label} ===\n"
+                         + render_snapshots(snapshots))
+    return "\n\n".join(parts)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,48 @@
+"""Sharded multi-group service: scale past one Paxos group.
+
+One reconfigurable-SMR group tops out at a single leader's throughput,
+so this package runs **N independent groups** side by side — each with
+its own virtual log, epoch chain, and data directory — behind a
+versioned :class:`~repro.shard.shardmap.ShardMap` that assigns key
+ranges (in a stable hash space) to groups.
+
+The pieces:
+
+* :mod:`repro.shard.shardmap` — the map model: hash points, key ranges,
+  assignments, and the pure map algebra (split / move / validate);
+* :mod:`repro.shard.messages` — the shard wire protocol (map fetch,
+  routing, ``WrongShard`` redirects, split/move admin commands);
+* :mod:`repro.shard.director` — the map authority: a tiny TCP service
+  owning the authoritative map and driving drain-and-cutover moves;
+* :mod:`repro.shard.client` — the smart client: caches the map, fans
+  requests out to per-group :class:`~repro.net.client.LiveClient`\\ s,
+  and follows redirects so map changes propagate without a central hop;
+* :mod:`repro.shard.cluster` — :class:`ShardedCluster`, composing one
+  :class:`~repro.net.cluster.LocalCluster` per group plus a director;
+* :mod:`repro.shard.scenario` — the split-under-load scenario, verified
+  with the Wing–Gong linearizability oracle across the cutover.
+
+Reconfiguration stays a **per-shard** operation: adding/removing a
+replica touches one group's epoch chain only, which is what makes the
+shards independently elastic (the FRAPPE scenario from PAPERS.md).
+"""
+
+from repro.shard.shardmap import (
+    HASH_SPACE,
+    GroupInfo,
+    KeyRange,
+    ShardAssignment,
+    ShardError,
+    ShardMap,
+    key_point,
+)
+
+__all__ = [
+    "HASH_SPACE",
+    "GroupInfo",
+    "KeyRange",
+    "ShardAssignment",
+    "ShardError",
+    "ShardMap",
+    "key_point",
+]

@@ -1,0 +1,354 @@
+"""The smart client: cached shard map + per-group LiveClients.
+
+:class:`ShardClient` is the sharded counterpart of
+:class:`~repro.net.client.LiveClient`. It holds a cached
+:class:`~repro.shard.shardmap.ShardMap`, routes each keyed command to
+the owning group's ``LiveClient``, and repairs its cache from
+:class:`~repro.shard.messages.WrongShard` reply values — so a map change
+propagates to clients through the groups themselves, without a central
+hop on the data path. The director is only consulted to bootstrap the
+cache and as the fallback when a redirect carries no usable hint.
+
+Retry discipline mirrors ``LiveClient``: one overall ``deadline`` per
+call, every attempt's budget clamped to the
+:data:`~repro.net.client.MIN_ATTEMPT_BUDGET` floor, and a **redirect
+budget** so a stale ping-pong (A says B, B says A) fails crisply instead
+of looping. Redirect hints are only ever adopted when their map version
+is *newer* than the cache, which is what makes concurrent refreshes and
+races against in-flight cutovers convergent: versions only move forward.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Any, Callable, Iterable
+
+from repro.core.client import ClientReply
+from repro.net import codec
+from repro.net.client import LiveClient, LiveClientError, MIN_ATTEMPT_BUDGET
+from repro.shard.messages import ShardMapReply, ShardMapRequest, WrongShard
+from repro.shard.shardmap import GroupInfo, ShardError, ShardMap, key_point
+from repro.types import ClientId, CommandId, NodeId
+
+#: pause between retries while a cutover is mid-flight (source retired,
+#: target not yet installed, director not yet swapped).
+REDIRECT_BACKOFF = 0.05
+
+
+class ShardClientError(LiveClientError):
+    """A sharded request could not be completed (deadline or redirect loop)."""
+
+
+def fetch_shard_map(
+    address: tuple[str, int],
+    *,
+    sender: str = "shard-cli",
+    seq: int = 1,
+    timeout: float = 2.0,
+    wire_format: str | None = None,
+) -> ShardMap:
+    """Fetch the authoritative map from a director over one raw socket."""
+    cid = CommandId(ClientId(sender), seq)
+    fmt = codec.DEFAULT_WIRE_FORMAT if wire_format is None else wire_format
+    try:
+        with socket.create_connection(address, timeout=timeout) as sock:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            sock.sendall(
+                codec.encode_frame(
+                    NodeId(sender), NodeId("shard-director"),
+                    ShardMapRequest(cid), fmt,
+                )
+            )
+            buffer = b""
+            give_up_at = time.monotonic() + timeout
+            while True:
+                while len(buffer) >= 4:
+                    length = codec.frame_length(buffer[:4])
+                    if len(buffer) < 4 + length:
+                        break
+                    body = buffer[4 : 4 + length]
+                    buffer = buffer[4 + length :]
+                    _, _, payload = codec.decode_frame_body(body)
+                    if isinstance(payload, ShardMapReply) and payload.cid == cid:
+                        payload.shard_map.validate()
+                        return payload.shard_map
+                remaining = give_up_at - time.monotonic()
+                if remaining <= 0:
+                    raise ShardClientError(
+                        f"no shard map from director {address} in {timeout}s"
+                    )
+                sock.settimeout(max(remaining, 0.01))
+                chunk = sock.recv(65536)
+                if not chunk:
+                    raise ShardClientError(
+                        "director closed the connection before replying"
+                    )
+                buffer += chunk
+    except (OSError, codec.CodecError) as exc:
+        raise ShardClientError(
+            f"shard map fetch from {address} failed: {exc}"
+        ) from exc
+
+
+class ShardClient:
+    """Routes keyed commands across groups through a cached shard map."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        director: tuple[str, int] | None = None,
+        shard_map: ShardMap | None = None,
+        request_timeout: float = 1.0,
+        wire_format: str | None = None,
+        max_redirects: int = 12,
+        client_factory: Callable[[GroupInfo], Any] | None = None,
+    ):
+        if shard_map is None and director is None:
+            raise ShardError("need a director address or an initial shard map")
+        self.name = str(name)
+        #: recording identity (unique cids for history recorders); the
+        #: wire identity is per-group ("<name>@<group>") so each group's
+        #: dedup table sees one monotone sequence.
+        self.client = ClientId(self.name)
+        self.seq = 0
+        self.director = director
+        self.request_timeout = request_timeout
+        self.wire_format = wire_format
+        self.max_redirects = max_redirects
+        self._factory = client_factory or self._default_factory
+        self._lock = threading.RLock()
+        self._clients: dict[str, Any] = {}
+        self._fetches = 0
+        if shard_map is None:
+            shard_map = self.refresh_map()
+        else:
+            shard_map.validate()
+        with self._lock:
+            if self._cached_map is None or shard_map.version > self._cached_map.version:
+                self._cached_map = shard_map
+
+    _cached_map: ShardMap | None = None
+
+    def _default_factory(self, info: GroupInfo) -> LiveClient:
+        return LiveClient(
+            f"{self.name}@{info.name}",
+            info.addresses,
+            view=info.members,
+            request_timeout=self.request_timeout,
+            wire_format=self.wire_format,
+        )
+
+    # -- map cache ----------------------------------------------------------
+
+    @property
+    def shard_map(self) -> ShardMap:
+        with self._lock:
+            assert self._cached_map is not None
+            return self._cached_map
+
+    @property
+    def map_version(self) -> int:
+        return self.shard_map.version
+
+    def refresh_map(self, timeout: float = 2.0) -> ShardMap:
+        """Re-fetch from the director; adopt only if strictly newer.
+
+        Safe to call from several threads at once: each fetch happens
+        outside the lock, and adoption compares versions under it — a
+        slow fetch returning an older map can never clobber a newer one.
+        """
+        if self.director is None:
+            return self.shard_map
+        with self._lock:
+            self._fetches += 1
+            seq = self._fetches
+        fetched = fetch_shard_map(
+            self.director, sender=f"{self.name}-map", seq=seq,
+            timeout=timeout, wire_format=self.wire_format,
+        )
+        return self._adopt(fetched)
+
+    def _adopt(self, new_map: ShardMap) -> ShardMap:
+        with self._lock:
+            if (
+                self._cached_map is None
+                or new_map.version > self._cached_map.version
+            ):
+                self._cached_map = new_map
+            return self._cached_map
+
+    def _apply_hint(self, hint: WrongShard) -> bool:
+        """Patch the cached map from a redirect hint; True if it advanced."""
+        with self._lock:
+            current = self._cached_map
+            assert current is not None
+            if not hint.has_hint or hint.version <= current.version:
+                return False
+            try:
+                patched = current.with_move(
+                    hint.lo, hint.hi, hint.target, version=hint.version
+                )
+            except ShardError:
+                # The hinted range no longer lines up with our (older)
+                # assignment boundaries; a full refresh is required.
+                return False
+            self._cached_map = patched
+            return True
+
+    # -- routing ------------------------------------------------------------
+
+    def route(self, key: str) -> tuple[str, int]:
+        """The (group, hash point) the cached map routes ``key`` to."""
+        point = key_point(key)
+        return self.shard_map.group_for_point(point), point
+
+    def _group_client(self, group: str) -> Any:
+        with self._lock:
+            client = self._clients.get(group)
+            if client is None:
+                client = self._factory(self.shard_map.group_info(group))
+                self._clients[group] = client
+            return client
+
+    # -- requests -----------------------------------------------------------
+
+    def submit(
+        self,
+        op: str,
+        args: tuple[Any, ...] = (),
+        size: int = 64,
+        deadline: float = 15.0,
+    ) -> ClientReply:
+        """Execute one keyed command on whichever group owns its key.
+
+        Follows WrongShard redirects up to ``max_redirects`` times within
+        ``deadline``; hints that do not advance the cached map fall back
+        to a director refresh, then a short backoff (an in-flight
+        cutover resolves in a couple of commits).
+        """
+        if not args:
+            raise ShardError(f"operation {op!r} has no routing key")
+        with self._lock:
+            self.seq += 1
+        key = str(args[0])
+        give_up_at = time.monotonic() + deadline
+        redirects = 0
+        last = "no attempt made"
+        while True:
+            group, _ = self.route(key)
+            budget = max(MIN_ATTEMPT_BUDGET, give_up_at - time.monotonic())
+            reply = self._group_client(group).submit(
+                op, args, size=size, deadline=budget
+            )
+            value = reply.value
+            if not isinstance(value, WrongShard):
+                return reply
+            redirects += 1
+            last = (
+                f"{group} does not own {key!r} "
+                f"(map v{value.version}, hint {value.target or 'none'})"
+            )
+            if redirects > self.max_redirects:
+                raise ShardClientError(
+                    f"redirect budget exhausted after {redirects - 1} "
+                    f"redirects for {op} {key!r}: {last}"
+                )
+            if time.monotonic() >= give_up_at:
+                raise ShardClientError(
+                    f"{op} {key!r} not placed in {deadline}s: {last}"
+                )
+            if self._apply_hint(value):
+                continue
+            before = self.map_version
+            try:
+                self.refresh_map()
+            except ShardClientError:
+                pass  # director unreachable; hints must carry us
+            if self.map_version == before:
+                # Mid-cutover: neither the hint nor the director moved
+                # us forward yet. Give the install a moment to land.
+                time.sleep(REDIRECT_BACKOFF)
+
+    def scan(self, prefix: str, deadline: float = 15.0) -> tuple[str, ...]:
+        """Fan a ``scan`` out to every serving group and merge the keys."""
+        give_up_at = time.monotonic() + deadline
+        merged: set[str] = set()
+        for group in self.shard_map.serving_groups():
+            budget = max(MIN_ATTEMPT_BUDGET, give_up_at - time.monotonic())
+            reply = self._group_client(group).submit(
+                "scan", (prefix,), size=32, deadline=budget
+            )
+            if isinstance(reply.value, (tuple, list)):
+                merged.update(reply.value)
+        return tuple(sorted(merged))
+
+    def submit_pipelined(
+        self,
+        ops: list[tuple[str, tuple[Any, ...], int]],
+        window: int = 32,
+        deadline: float = 60.0,
+    ) -> list[float]:
+        """Partition ``ops`` by owning group and pipeline each partition.
+
+        One thread per group drives that group's
+        :meth:`LiveClient.submit_pipelined`, so N groups commit in
+        parallel — the aggregate-throughput path the shard bench
+        measures. Returns per-op latencies in submission order. Assumes
+        a stable map for the batch (redirect values are not inspected on
+        this path); use :meth:`submit` when a move may be in flight.
+        """
+        shard_map = self.shard_map
+        by_group: dict[str, list[int]] = {}
+        for index, (op, args, _size) in enumerate(ops):
+            if not args:
+                raise ShardError(f"operation {op!r} has no routing key")
+            by_group.setdefault(
+                shard_map.group_for_key(str(args[0])), []
+            ).append(index)
+        latencies = [0.0] * len(ops)
+        failures: list[str] = []
+
+        def drive(group: str, indexes: list[int]) -> None:
+            client = self._group_client(group)
+            try:
+                result = client.submit_pipelined(
+                    [ops[i] for i in indexes], window=window, deadline=deadline
+                )
+            except LiveClientError as exc:
+                failures.append(f"{group}: {exc}")
+                return
+            for i, latency in zip(indexes, result):
+                latencies[i] = latency
+
+        threads = [
+            threading.Thread(target=drive, args=item, daemon=True)
+            for item in by_group.items()
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=deadline + 5.0)
+        if failures:
+            raise ShardClientError(
+                "pipelined groups failed: " + "; ".join(sorted(failures))
+            )
+        return latencies
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            clients, self._clients = dict(self._clients), {}
+        for client in clients.values():
+            close = getattr(client, "close", None)
+            if close is not None:
+                close()
+
+    def __enter__(self) -> "ShardClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

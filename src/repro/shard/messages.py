@@ -1,0 +1,125 @@
+"""The shard wire protocol (registered in the codec bootstrap).
+
+Three conversations share these payloads:
+
+* **map fetch / routing** — a client (or the ``repro shard-route`` CLI)
+  asks the director for the authoritative map or for one key's home:
+  :class:`ShardMapRequest` → :class:`ShardMapReply`,
+  :class:`RouteRequest` → :class:`RouteReply`;
+* **redirects** — a group that no longer owns a key answers the normal
+  :class:`~repro.core.client.ClientReply` with a :class:`WrongShard`
+  *value*. Riding inside the reply keeps the replica protocol untouched:
+  the sharded state machine emits it like any other result, the codec
+  round-trips it like any registered dataclass, and only the
+  :class:`~repro.shard.client.ShardClient` interprets it;
+* **elastic admin** — :class:`SplitShard` / :class:`MoveShard` ask the
+  director to run a drain-and-cutover move; :class:`ShardAck` reports
+  the outcome and the resulting map version.
+
+Every request carries a :class:`~repro.types.CommandId` so replies can
+be matched over a shared connection, mirroring the ``#chaos`` and
+``#metrics`` admin protocols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.shard.shardmap import ShardMap
+from repro.types import CommandId
+
+
+@dataclass(frozen=True, slots=True)
+class ShardMapRequest:
+    """Client -> director: send me the authoritative shard map."""
+
+    cid: CommandId
+
+
+@dataclass(frozen=True, slots=True)
+class ShardMapReply:
+    """Director -> client: the current map (version included within)."""
+
+    cid: CommandId
+    shard_map: ShardMap
+
+
+@dataclass(frozen=True, slots=True)
+class RouteRequest:
+    """Client -> director: which group owns this key right now?"""
+
+    cid: CommandId
+    key: str
+
+
+@dataclass(frozen=True, slots=True)
+class RouteReply:
+    """Director -> client: one key's hash point, owner, and map version."""
+
+    cid: CommandId
+    key: str
+    point: int
+    group: str
+    version: int
+
+
+@dataclass(frozen=True, slots=True)
+class WrongShard:
+    """Reply *value* from a group that does not own the requested key.
+
+    ``version`` is the map version of the move that took (or will give)
+    the range away; ``target`` names the new owner when the rejecting
+    group knows it (the retire command records a forwarding hint), or is
+    empty when it does not (e.g. the target group before its install
+    command executes). ``lo``/``hi`` bound the moved range so a client
+    can patch exactly that slice of its cached map without a central
+    hop; a zero-width range means "no hint, refresh from the director".
+    """
+
+    key: str
+    point: int
+    version: int
+    group: str
+    target: str
+    lo: int
+    hi: int
+
+    @property
+    def has_hint(self) -> bool:
+        return bool(self.target) and self.hi > self.lo
+
+
+@dataclass(frozen=True, slots=True)
+class SplitShard:
+    """Admin -> director: split ``group``'s range and move half away.
+
+    ``at`` is the split point; ``-1`` means the midpoint of the group's
+    widest range. ``target`` is the receiving group; empty means "pick
+    the serving-or-spare group owning the least of the space".
+    """
+
+    cid: CommandId
+    group: str
+    at: int
+    target: str
+
+
+@dataclass(frozen=True, slots=True)
+class MoveShard:
+    """Admin -> director: move exactly ``[lo, hi)`` to ``target``."""
+
+    cid: CommandId
+    lo: int
+    hi: int
+    target: str
+
+
+@dataclass(frozen=True, slots=True)
+class ShardAck:
+    """Director -> admin: outcome of a split/move (and the new version)."""
+
+    cid: CommandId
+    op: str
+    ok: bool
+    detail: str
+    version: int

@@ -31,6 +31,14 @@ from repro.core.state_transfer import (
 from repro.net import codec
 from repro.net.chaos import ChaosAck, ChaosCommand
 from repro.net.observe import MetricsRequest, MetricsSnapshot
+from repro.shard import messages as shm
+from repro.shard.shardmap import (
+    HASH_SPACE,
+    GroupInfo,
+    KeyRange,
+    ShardAssignment,
+    ShardMap,
+)
 from repro.storage.records import (
     CheckpointRecord,
     WalAccept,
@@ -142,6 +150,40 @@ counter_tables = st.dictionaries(names, st.integers(min_value=0, max_value=2**40
 gauge_tables = st.dictionaries(names, times, max_size=4)
 summary_tables = st.dictionaries(names, st.dictionaries(names, times, max_size=4), max_size=3)
 
+# Shard wire types: KeyRange validates lo < hi <= HASH_SPACE, and a
+# ShardMap must partition the space exactly, so both are built through
+# their constructors rather than free field draws.
+hash_points = st.integers(min_value=0, max_value=HASH_SPACE - 1)
+key_ranges = st.builds(
+    lambda lo, width: KeyRange(lo, min(lo + width, HASH_SPACE)),
+    hash_points,
+    st.integers(min_value=1, max_value=HASH_SPACE),
+)
+peer_addresses = st.dictionaries(
+    names,
+    st.tuples(st.just("127.0.0.1"), st.integers(min_value=1024, max_value=65535)),
+    min_size=1,
+    max_size=3,
+)
+group_infos = st.builds(
+    GroupInfo, names, st.lists(names, min_size=1, max_size=3).map(tuple),
+    peer_addresses,
+)
+shard_assignments = st.builds(ShardAssignment, key_ranges, names)
+shard_maps = st.builds(
+    lambda group_names, version, serving: ShardMap.initial(
+        [
+            GroupInfo(name, ("n1", "n2"), {"n1": ("127.0.0.1", 9101)})
+            for name in sorted(group_names)
+        ],
+        serving=sorted(group_names)[: 1 + serving % len(group_names)],
+        version=version,
+    ),
+    st.sets(names, min_size=1, max_size=4),
+    st.integers(min_value=1, max_value=2**20),
+    st.integers(min_value=0, max_value=3),
+)
+
 #: one strategy per registered wire type (pinned by test_strategy_table_complete).
 STRATEGIES: dict[type, st.SearchStrategy] = {
     CommandId: command_ids,
@@ -225,6 +267,34 @@ STRATEGIES: dict[type, st.SearchStrategy] = {
         slots,
         slots,
         values,
+    ),
+    KeyRange: key_ranges,
+    ShardAssignment: shard_assignments,
+    GroupInfo: group_infos,
+    ShardMap: shard_maps,
+    shm.ShardMapRequest: st.builds(shm.ShardMapRequest, command_ids),
+    shm.ShardMapReply: st.builds(shm.ShardMapReply, command_ids, shard_maps),
+    shm.RouteRequest: st.builds(shm.RouteRequest, command_ids, names),
+    shm.RouteReply: st.builds(
+        shm.RouteReply, command_ids, names, hash_points, names,
+        st.integers(min_value=1, max_value=2**20),
+    ),
+    shm.WrongShard: st.builds(
+        shm.WrongShard, names, hash_points,
+        st.integers(min_value=1, max_value=2**20), names,
+        st.one_of(st.just(""), names), hash_points, hash_points,
+    ),
+    shm.SplitShard: st.builds(
+        shm.SplitShard, command_ids,
+        names, st.integers(min_value=-1, max_value=HASH_SPACE),
+        st.one_of(st.just(""), names),
+    ),
+    shm.MoveShard: st.builds(
+        shm.MoveShard, command_ids, hash_points, hash_points, names
+    ),
+    shm.ShardAck: st.builds(
+        shm.ShardAck, command_ids, names, st.booleans(),
+        st.text(max_size=40), st.integers(min_value=0, max_value=2**20),
     ),
     MetricsRequest: st.builds(MetricsRequest, command_ids),
     MetricsSnapshot: st.builds(

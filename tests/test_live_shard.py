@@ -1,0 +1,91 @@
+"""Live sharded-service tests: real groups, real director, real cutover.
+
+Each test spawns one subprocess per replica (three per group), so the
+whole file rides behind the ``live`` marker like the other subprocess
+suites. Coverage:
+
+* a keyspace written through the smart client lands on every serving
+  group and reads back correctly (the routing path);
+* a split under concurrent load keeps the merged client history
+  linearizable across the drain-and-cutover (the safety path);
+* one group grows and shrinks by a replica — the paper's reconfiguration
+  — while the other group and the shard map stay serving (the elastic
+  path).
+"""
+
+import pytest
+
+from repro.shard.cluster import ShardedCluster
+from repro.shard.client import fetch_shard_map
+from repro.shard.scenario import run_split_scenario
+
+pytestmark = [pytest.mark.live, pytest.mark.slow]
+
+
+class TestLiveRouting:
+    def test_keyspace_served_across_groups(self):
+        keys = [f"key-{i:03d}" for i in range(30)]
+        with ShardedCluster(3, replicas_per_group=3) as cluster:
+            cluster.start()
+            shard_map = cluster.shard_map
+            assert shard_map.serving_groups() == ("g1", "g2", "g3")
+            with cluster.client("t-route") as client:
+                for i, key in enumerate(keys):
+                    assert client.submit("set", (key, i)).value == "ok"
+                spread = client.shard_map.spread(keys)
+                assert sum(spread.values()) == len(keys)
+                assert all(spread[g] > 0 for g in ("g1", "g2", "g3"))
+                for i, key in enumerate(keys):
+                    assert client.submit("get", (key,), size=32).value == i
+                # scan fans out across groups and merges every key.
+                assert client.scan("key-") == tuple(sorted(keys))
+            # The director serves the same map over its wire endpoint.
+            fetched = fetch_shard_map(cluster.director_address())
+            assert fetched.version == shard_map.version
+            assert fetched.assignments == shard_map.assignments
+
+
+class TestLiveSplit:
+    def test_split_under_load_is_linearizable(self):
+        report = run_split_scenario(
+            groups=2, replicas_per_group=3, clients=2, keys=12, settle=0.6
+        )
+        assert not report.errors, report.lines()
+        assert report.version_after > report.version_before, report.lines()
+        assert report.moved is not None, report.lines()
+        assert report.linearizable is not None
+        assert report.linearizable.ok, report.lines()
+        # The spare really took over part of the keyspace.
+        spare = report.moved[2]
+        assert report.spread_after.get(spare, 0) > 0, report.lines()
+        assert report.ok, report.lines()
+
+
+class TestLiveElasticMembership:
+    def test_add_then_remove_replica_in_one_group(self):
+        with ShardedCluster(2, replicas_per_group=3) as cluster:
+            cluster.start()
+            version_0 = cluster.shard_map.version
+            with cluster.client("t-elastic") as client:
+                for i in range(10):
+                    client.submit("set", (f"k{i}", i))
+
+                joiner = cluster.add_replica("g1")
+                grown = cluster.shard_map
+                assert grown.version > version_0
+                assert joiner in grown.group_info("g1").members
+                assert len(grown.group_info("g1").members) == 4
+                # Only g1 changed; g2 kept its original membership.
+                assert len(grown.group_info("g2").members) == 3
+
+                # Both groups still serve reads after the reconfiguration.
+                for i in range(10):
+                    assert client.submit("get", (f"k{i}",), size=32).value == i
+
+                removed = cluster.remove_replica("g1", joiner)
+                shrunk = cluster.shard_map
+                assert removed == joiner
+                assert shrunk.version > grown.version
+                assert joiner not in shrunk.group_info("g1").members
+                for i in range(10):
+                    assert client.submit("get", (f"k{i}",), size=32).value == i
