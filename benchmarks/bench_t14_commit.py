@@ -1,0 +1,33 @@
+"""T14 — commit path: batching + group commit + pipelining (BENCH_commit.json).
+
+Expected shape: with fsync on, the batched cell clears the unbatched cell
+because batching amortizes both the Paxos round (slots/op << 1) and the
+WAL fsync (group commit: fsyncs/op << 1). Thresholds here are looser than
+the full ``repro bench commit`` regression gate: this is a smoke-sized
+run under pytest, and shared CI machines are noisy.
+"""
+
+from repro.bench.commitbench import _cells, _render, _run_cell
+
+
+def _run(smoke_cells):
+    results = {}
+    for cell in smoke_cells:
+        results[cell["label"]] = _run_cell(cell, seed=42, wire=None)
+    return results
+
+
+def test_t14_commit_path(benchmark):
+    cells = _cells(smoke=True, window_override=None)
+    results = benchmark.pedantic(lambda: _run(cells), rounds=1, iterations=1)
+    _render(results)
+    unbatched = results["unbatched-fsync"]
+    batched = results["batched-fsync-w1024"]
+    # Every cell must commit its full workload with durability on.
+    assert unbatched["ops"] > 0 and batched["ops"] > 0
+    # Batching must amortize consensus: far fewer Paxos slots than ops.
+    assert batched["slots_per_op"] < 0.5
+    # Group commit must amortize durability: far fewer fsyncs than appends.
+    assert batched["fsyncs_per_op"] < unbatched["fsyncs_per_op"]
+    # And the headline: batched throughput beats unbatched (loose floor).
+    assert batched["ops_per_s"] > 1.2 * unbatched["ops_per_s"]

@@ -1,0 +1,311 @@
+"""T14 commit-path benchmark: batching x fsync x window, live and durable.
+
+Every cell launches a real 3-replica :class:`LocalCluster` with durable
+storage and drives it with a pipelined client, varying the three
+commit-path levers this campaign added:
+
+* **batching** — leader-side command batching (``--batch-delay 2ms``,
+  ``--batch-max 256``) plus a bounded proposer pipeline window, vs the
+  one-command-one-instance baseline;
+* **fsync** — WAL appends forced to media (group-committed: one fsync
+  per inbound dispatch window) vs flush-to-kernel only;
+* **window** — the client pipelining window (how much concurrency the
+  workload offers; batching can only amortize what arrives together).
+
+After each cell the replicas' ``#metrics`` endpoints are polled, so the
+report shows *why* a cell is fast: WAL fsyncs per committed op (group
+commit amortization) and Paxos slots per op (batch amortization).
+
+Results land in ``BENCH_commit.json`` — the committed trajectory every
+later commit-path change is gated against. Exit code is the regression
+gate: full runs enforce the acceptance bar (best batched fsync-on cell
+at >= 4x the BENCH_wire.json 2,625 ops/s baseline; fsync within 2x of
+no-fsync), smoke runs fail only when *both* the batched/unbatched ratio
+and the absolute batched fsync-on throughput fall below 0.9x the
+committed baseline (single-signal dips are noise, not regressions).
+
+Run via ``repro bench commit [--smoke]``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Any
+
+from repro.metrics import Table, percentile, summarize_throughput
+
+#: the live commit throughput recorded in BENCH_wire.json (binary codec,
+#: window 32, no batching, no durability) — the floor this campaign is
+#: measured against.
+WIRE_BASELINE_OPS_S = 2625.0
+
+#: batch flush-latency bound used by every batched cell, in ms.
+BATCH_DELAY_MS = 2.0
+#: leader batch size cap. The sweep winner: at 1024-deep client windows
+#: the leader drains ~200-command batches, so a 32-cap would fragment
+#: them into many slots for no benefit.
+BATCH_MAX = 256
+#: proposer pipeline window used by every batched cell.
+ENGINE_WINDOW = 16
+
+
+def _cells(smoke: bool, window_override: int | None) -> list[dict[str, Any]]:
+    """The sweep grid. Labels are stable: the smoke gate and later PRs
+    reference them by name."""
+
+    def cell(label: str, *, batch: bool, fsync: bool, window: int,
+             ops: int, smoke_ops: int) -> dict[str, Any]:
+        return {
+            "label": label, "batch": batch, "fsync": fsync,
+            "window": window_override if window_override else window,
+            "ops": smoke_ops if smoke else ops,
+        }
+
+    grid = [
+        cell("unbatched-fsync", batch=False, fsync=True, window=32,
+             ops=1200, smoke_ops=200),
+        cell("batched-fsync-w256", batch=True, fsync=True, window=256,
+             ops=6000, smoke_ops=0),
+        cell("batched-fsync-w1024", batch=True, fsync=True, window=1024,
+             ops=12000, smoke_ops=600),
+        cell("batched-nofsync-w1024", batch=True, fsync=False, window=1024,
+             ops=12000, smoke_ops=0),
+        cell("unbatched-nofsync", batch=False, fsync=False, window=32,
+             ops=1200, smoke_ops=0),
+    ]
+    return [c for c in grid if c["ops"] > 0]
+
+
+def _run_cell(
+    cell: dict[str, Any], *, seed: int, wire: str | None, rounds: int = 1
+) -> dict[str, Any]:
+    """One configuration, best of ``rounds`` fresh-cluster runs.
+
+    Throughput cells on a 1-CPU box are exposed to scheduling and fsync
+    noise an entire run long; the max over independent rounds estimates
+    the configuration's capability rather than the noisiest window.
+    """
+    best: dict[str, Any] | None = None
+    for attempt in range(max(1, rounds)):
+        row = _run_cell_once(cell, seed=seed + attempt, wire=wire)
+        if best is None or row["ops_per_s"] > best["ops_per_s"]:
+            best = row
+    assert best is not None
+    return best
+
+
+def _run_cell_once(
+    cell: dict[str, Any], *, seed: int, wire: str | None
+) -> dict[str, Any]:
+    """One configuration: launch, warm up, measure, poll metrics."""
+    from repro.net.client import LiveClient
+    from repro.net.cluster import LocalCluster
+    from repro.net.observe import poll_cluster
+
+    ops = cell["ops"]
+    warmup = max(20, ops // 20)
+    with LocalCluster(
+        replicas=3, seed=seed, wire=wire,
+        durable=True, fsync=cell["fsync"],
+        batch_delay_ms=BATCH_DELAY_MS if cell["batch"] else 0.0,
+        batch_max=BATCH_MAX,
+        window=ENGINE_WINDOW if cell["batch"] else 0,
+        uvloop="auto",
+    ) as cluster:
+        cluster.start()
+        with LiveClient(
+            "bench", cluster.addresses, view=cluster.initial,
+            request_timeout=2.0, wire_format=wire,
+        ) as client:
+            client.submit_pipelined(
+                [("set", (f"warm-{i}", i), 64) for i in range(warmup)],
+                window=cell["window"], deadline=60.0,
+            )
+            workload = [("set", (f"key-{i % 256}", i), 64) for i in range(ops)]
+            start = time.perf_counter()
+            latencies = client.submit_pipelined(
+                workload, window=cell["window"], deadline=180.0
+            )
+            elapsed = time.perf_counter() - start
+        books = {n: cluster.addresses[n] for n in cluster.initial}
+        fetched, _ = poll_cluster(books, wire_format=wire)
+
+    counters = {"wal.fsyncs": 0, "wal.appends": 0, "paxos.decided": 0}
+    batch_means: list[float] = []
+    group_means: list[float] = []
+    for snap in fetched.values():
+        for name in counters:
+            counters[name] += int(snap.snapshot.counters.get(name, 0))
+        hists = snap.snapshot.histograms
+        for hist_name, sink in (("paxos.batch_size", batch_means),
+                                ("wal.group_commit_size", group_means)):
+            summary = hists.get(hist_name)
+            if summary and summary["count"]:
+                sink.append(summary["mean"])
+
+    ms = [lat * 1000.0 for lat in latencies]
+    throughput = summarize_throughput(ops, elapsed)
+    return {
+        **{k: cell[k] for k in ("label", "batch", "fsync", "window", "ops")},
+        "elapsed_s": round(elapsed, 4),
+        "ops_per_s": round(throughput.ops_per_s, 1),
+        "p50_ms": round(percentile(ms, 50), 3),
+        "p99_ms": round(percentile(ms, 99), 3),
+        "wal_fsyncs": counters["wal.fsyncs"],
+        "wal_appends": counters["wal.appends"],
+        "paxos_slots": counters["paxos.decided"],
+        "fsyncs_per_op": round(counters["wal.fsyncs"] / ops, 3),
+        "slots_per_op": round(counters["paxos.decided"] / ops, 3),
+        "mean_batch": round(max(batch_means, default=0.0), 2),
+        "mean_group_commit": round(max(group_means, default=0.0), 2),
+    }
+
+
+def _render(results: dict[str, dict[str, Any]]) -> None:
+    table = Table(
+        "T14 live 3-replica durable commit path (batching x fsync x window)",
+        ["cell", "ops", "ops/s", "p50 ms", "p99 ms",
+         "fsync/op", "slots/op", "batch", "grp-commit"],
+    )
+    for row in results.values():
+        table.add_row(
+            row["label"], row["ops"], f"{row['ops_per_s']:.0f}",
+            f"{row['p50_ms']:.2f}", f"{row['p99_ms']:.2f}",
+            f"{row['fsyncs_per_op']:.2f}", f"{row['slots_per_op']:.2f}",
+            f"{row['mean_batch']:.1f}", f"{row['mean_group_commit']:.1f}",
+        )
+    print(table.render())
+    print()
+
+
+def _ratios(results: dict[str, dict[str, Any]]) -> dict[str, float]:
+    """Headline ratios; 0.0 where a side of the comparison did not run."""
+
+    def ops(label: str) -> float:
+        row = results.get(label)
+        return row["ops_per_s"] if row else 0.0
+
+    best_fsync_on = max(
+        (r["ops_per_s"] for r in results.values() if r["batch"] and r["fsync"]),
+        default=0.0,
+    )
+    unbatched = ops("unbatched-fsync")
+    nofsync = ops("batched-nofsync-w1024")
+    batched_deep = ops("batched-fsync-w1024")
+    return {
+        "batching": round(best_fsync_on / unbatched, 3) if unbatched else 0.0,
+        "fsync_cost": round(nofsync / batched_deep, 3) if batched_deep else 0.0,
+        "vs_wire_baseline": round(best_fsync_on / WIRE_BASELINE_OPS_S, 3),
+        "best_fsync_on_ops_s": round(best_fsync_on, 1),
+    }
+
+
+def _load_baseline(path: str) -> tuple[float, float] | None:
+    """The committed baseline's (batching ratio, best fsync-on ops/s)."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            report = json.load(fh)
+        return (
+            float(report["ratios"]["batching"]),
+            float(report["ratios"]["best_fsync_on_ops_s"]),
+        )
+    except (OSError, KeyError, TypeError, ValueError, json.JSONDecodeError):
+        return None
+
+
+def run_commit_bench(
+    smoke: bool = False,
+    out: str = "BENCH_commit.json",
+    seed: int = 42,
+    baseline: str = "BENCH_commit.json",
+    wire: str | None = None,
+    window: int | None = None,
+) -> int:
+    """Run the commit-path sweep; returns a regression-gate exit code."""
+    mode = "smoke" if smoke else "full"
+    cpus = os.cpu_count() or 1
+    print(f"T14 commit-path benchmark ({mode}, seed={seed}, cpus={cpus})")
+    results: dict[str, dict[str, Any]] = {}
+    # Best-of-2 everywhere: cells on a 1-CPU box see fsync-latency and
+    # scheduling regimes that vary run to run, and a gate hostage to one
+    # bad round helps nobody. Smoke cells are small, so the second round
+    # is cheap.
+    rounds = 2
+    for cell in _cells(smoke, window):
+        print(f"  cell {cell['label']}: {cell['ops']} ops, "
+              f"window {cell['window']}, best of {rounds} ...", flush=True)
+        results[cell["label"]] = _run_cell(
+            cell, seed=seed, wire=wire, rounds=rounds
+        )
+    _render(results)
+    ratios = _ratios(results)
+
+    report = {
+        "bench": "T14-commit",
+        "mode": mode,
+        "seed": seed,
+        "cpus": cpus,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "wire": wire or "binary",
+        "wire_baseline_ops_s": WIRE_BASELINE_OPS_S,
+        "batch_delay_ms": BATCH_DELAY_MS,
+        "batch_max": BATCH_MAX,
+        "engine_window": ENGINE_WINDOW,
+        "cells": results,
+        "ratios": ratios,
+    }
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {out}")
+    print(f"batching {ratios['batching']:.2f}x, "
+          f"no-fsync over fsync {ratios['fsync_cost']:.2f}x, "
+          f"best fsync-on cell {ratios['best_fsync_on_ops_s']:.0f} ops/s "
+          f"({ratios['vs_wire_baseline']:.2f}x the wire baseline)")
+
+    failures: list[str] = []
+    if smoke:
+        committed = _load_baseline(baseline)
+        if committed is None:
+            print(f"note: no committed baseline at {baseline}; "
+                  "smoke ratio gate skipped")
+        else:
+            # A real regression degrades both the batching ratio and the
+            # absolute batched fsync-on throughput; requiring both below
+            # 0.9x keeps the gate immune to single-cell noise (a fast
+            # unbatched denominator run shrinks the ratio while batched
+            # throughput *improves* — that must not fail CI).
+            base_ratio, base_ops = committed
+            ratio_low = ratios["batching"] < 0.9 * base_ratio
+            ops_low = ratios["best_fsync_on_ops_s"] < 0.9 * base_ops
+            if ratio_low and ops_low:
+                failures.append(
+                    f"batching ratio {ratios['batching']:.2f}x and batched "
+                    f"fsync-on throughput {ratios['best_fsync_on_ops_s']:.0f} "
+                    f"ops/s both fell below 0.9x the committed baseline "
+                    f"({base_ratio:.2f}x, {base_ops:.0f} ops/s)"
+                )
+            elif ratio_low or ops_low:
+                print("note: one smoke signal below 0.9x baseline "
+                      f"(ratio {ratios['batching']:.2f}x vs {base_ratio:.2f}x, "
+                      f"ops {ratios['best_fsync_on_ops_s']:.0f} vs "
+                      f"{base_ops:.0f}); passing — both must degrade to fail")
+    else:
+        if ratios["vs_wire_baseline"] < 4.0:
+            failures.append(
+                f"best batched fsync-on cell is only "
+                f"{ratios['vs_wire_baseline']:.2f}x the "
+                f"{WIRE_BASELINE_OPS_S:.0f} ops/s wire baseline (floor 4x)"
+            )
+        if ratios["fsync_cost"] > 2.0:
+            failures.append(
+                f"fsync costs {ratios['fsync_cost']:.2f}x "
+                "(no-fsync over fsync; ceiling 2x)"
+            )
+    for failure in failures:
+        print(f"REGRESSION: {failure}")
+    return 1 if failures else 0

@@ -124,14 +124,13 @@ def bench_codec(seed: int, smoke: bool) -> dict[str, Any]:
     return results
 
 
-def bench_live(seed: int, smoke: bool) -> dict[str, Any]:
+def bench_live(seed: int, smoke: bool, window: int = 32) -> dict[str, Any]:
     """Commit throughput + latency through a real 3-replica cluster."""
     from repro.net.client import LiveClient
     from repro.net.cluster import LocalCluster
 
     ops = 300 if smoke else 2000
     warmup = 20 if smoke else 100
-    window = 32
     results: dict[str, Any] = {}
     for fmt in codec.WIRE_FORMATS:
         with LocalCluster(replicas=3, seed=seed, wire=fmt) as cluster:
@@ -210,6 +209,7 @@ def run_wire_bench(
     out: str = "BENCH_wire.json",
     seed: int = 42,
     skip_live: bool = False,
+    window: int = 32,
 ) -> int:
     """Run the wire benchmark; returns a regression-gate exit code.
 
@@ -218,9 +218,9 @@ def run_wire_bench(
     live within noise) so CI fails on regressions, not on machine jitter.
     """
     mode = "smoke" if smoke else "full"
-    print(f"T9 wire benchmark ({mode}, seed={seed})")
+    print(f"T9 wire benchmark ({mode}, seed={seed}, window={window})")
     codec_results = bench_codec(seed, smoke)
-    live_results = None if skip_live else bench_live(seed, smoke)
+    live_results = None if skip_live else bench_live(seed, smoke, window=window)
     _render(codec_results, live_results)
 
     report = {

@@ -170,7 +170,7 @@ def _parse_peers(spec: str) -> dict[str, tuple[str, int]]:
 
 def _cmd_serve(args: "argparse.Namespace") -> int:
     """Run one live replica process until SIGINT/SIGTERM."""
-    from repro.consensus.multipaxos import MultiPaxosEngine
+    from repro.consensus.multipaxos import MultiPaxosEngine, PaxosParams
     from repro.core.reconfig import ReconfigParams, ReconfigurableReplica
     from repro.net.runtime import LiveRuntime
     from repro.net.transport import LinkPolicy, TcpTransport
@@ -189,7 +189,9 @@ def _cmd_serve(args: "argparse.Namespace") -> int:
         # Seeded per replica so injected link loss draws are reproducible.
         link_policy=LinkPolicy(seed=args.seed),
     )
-    runtime = LiveRuntime(transport, seed=args.seed, echo_trace=args.verbose)
+    runtime = LiveRuntime(
+        transport, seed=args.seed, echo_trace=args.verbose, uvloop=args.uvloop
+    )
     storage = None
     if args.data_dir:
         from repro.storage import ReplicaStore
@@ -211,8 +213,13 @@ def _cmd_serve(args: "argparse.Namespace") -> int:
         install_metrics_endpoint(
             transport, args.node, runtime.metrics, lambda: runtime.now
         )
+    engine_params = PaxosParams(
+        batch_delay=args.batch_delay / 1000.0,
+        batch_max=args.batch_max,
+        window=args.window,
+    )
     params = ReconfigParams(
-        engine_factory=MultiPaxosEngine.factory(),
+        engine_factory=MultiPaxosEngine.factory(engine_params),
         checkpoint_interval=args.checkpoint_interval,
     )
     app_factory = _app_factory(args.app)
@@ -258,9 +265,14 @@ def _cmd_serve(args: "argparse.Namespace") -> int:
     if args.shard_group:
         shard_note = (f", shard={args.shard_group} "
                       f"ranges={args.shard_ranges or '(none)'}")
+    commit_note = ""
+    if engine_params.batch_delay > 0 or engine_params.window > 0:
+        commit_note = (f", batch={args.batch_delay:g}ms"
+                       f"/max{engine_params.batch_max}"
+                       f", window={engine_params.window or 'unbounded'}")
     print(f"[{args.node}] serving on {host}:{port} "
           f"(app={args.app}, member={'yes' if initial_config else 'standby'}"
-          f"{shard_note})",
+          f", loop={runtime.loop_impl}{commit_note}{shard_note})",
           flush=True)
     runtime.run(host, port)
     return 0
@@ -571,6 +583,7 @@ def _cmd_chaos(args: "argparse.Namespace") -> int:
         scale=args.scale,
         verbose=args.verbose,
         durable=args.durable,
+        batching=args.batch,
     )
     for line in report.lines():
         print(line)
@@ -646,6 +659,22 @@ def main(argv: list[str] | None = None) -> int:
                        metavar="SECONDS",
                        help="period of durable state-machine checkpoints "
                        "(0 = only at epoch boundaries; needs --data-dir)")
+    serve.add_argument("--batch-delay", type=float, default=0.0,
+                       metavar="MS",
+                       help="leader-side command batching: hold a batch "
+                       "open up to this many milliseconds so concurrent "
+                       "commands share one Paxos instance (0 = off)")
+    serve.add_argument("--batch-max", type=int, default=32,
+                       help="max commands per batch")
+    serve.add_argument("--window", type=int, default=0,
+                       help="proposer pipeline window: max Paxos instances "
+                       "in flight concurrently; commands beyond it buffer "
+                       "into the next batch (0 = unbounded)")
+    serve.add_argument("--uvloop", default="auto",
+                       choices=["auto", "on", "off"],
+                       help="event loop: auto uses uvloop when installed "
+                       "and silently falls back to asyncio (default), on "
+                       "requires it, off never uses it")
     serve.add_argument("--shard-group", default="",
                        help="serve as one group of a sharded service: the "
                        "group's name (requires --app kv; wraps the store "
@@ -735,6 +764,10 @@ def main(argv: list[str] | None = None) -> int:
     chaos.add_argument("--recovery-out", default=None, metavar="PATH",
                        help="write the per-node wal/recovery metrics "
                        "snapshot as JSON (the CI artifact; needs --durable)")
+    chaos.add_argument("--batch", action="store_true",
+                       help="enable leader-side command batching + a "
+                       "pipeline window on every replica, so the oracle "
+                       "checks linearizability of the batched commit path")
     chaos.add_argument("--verbose", action="store_true")
 
     metrics = sub.add_parser(
@@ -785,6 +818,26 @@ def main(argv: list[str] | None = None) -> int:
     wire.add_argument("--seed", type=int, default=42)
     wire.add_argument("--skip-live", action="store_true",
                       help="codec micro-benchmark only (no subprocesses)")
+    wire.add_argument("--window", type=int, default=32,
+                      help="client pipelining window for the live phase")
+    commit = bench_sub.add_parser(
+        "commit", help="live 3-replica durable commit-path sweep over "
+        "{batching, fsync, window}; writes BENCH_commit.json"
+    )
+    commit.add_argument("--smoke", action="store_true",
+                        help="CI gate: two cells only (<60s), checked "
+                        "against the committed baseline's batching ratio")
+    commit.add_argument("--out", default="BENCH_commit.json",
+                        help="output path (default: BENCH_commit.json)")
+    commit.add_argument("--baseline", default="BENCH_commit.json",
+                        metavar="PATH",
+                        help="committed baseline for the --smoke "
+                        "regression gate")
+    commit.add_argument("--seed", type=int, default=42)
+    commit.add_argument("--window", type=int, default=None,
+                        help="client pipelining window override for every "
+                        "cell (default: per-cell values)")
+    commit.add_argument("--wire", default=None, choices=["json", "binary"])
     shard_bench = bench_sub.add_parser(
         "shard", help="aggregate throughput vs group count + "
         "split-under-load verdict; writes BENCH_shard.json"
@@ -828,7 +881,15 @@ def main(argv: list[str] | None = None) -> int:
 
             return run_wire_bench(
                 smoke=args.smoke, out=args.out, seed=args.seed,
-                skip_live=args.skip_live,
+                skip_live=args.skip_live, window=args.window,
+            )
+        if args.bench_target == "commit":
+            from repro.bench.commitbench import run_commit_bench
+
+            return run_commit_bench(
+                smoke=args.smoke, out=args.out, seed=args.seed,
+                baseline=args.baseline, wire=args.wire,
+                window=args.window,
             )
         if args.bench_target == "shard":
             from repro.bench.shardbench import run_shard_bench

@@ -64,6 +64,13 @@ class PaxosParams:
     #: one slot (and one Phase-2 round trip). 0 disables batching.
     batch_delay: float = 0.0
     batch_max: int = 32
+    #: proposer pipeline window: max Phase-2 slots open concurrently.
+    #: When the window is full, batchable commands buffer and ride the
+    #: next freed slot together as one batch (adaptive batching under
+    #: load, even with ``batch_delay == 0``). Non-batchable payloads
+    #: (reconfigurations, noops) bypass the cap — a membership change
+    #: must never wait behind client traffic. 0 = unbounded.
+    window: int = 0
     #: read-lease validity granted per acknowledged heartbeat. Must stay
     #: strictly below suspect_timeout_min: a follower that just granted a
     #: lease slice will not campaign (nor, via vote stickiness, vote for a
@@ -142,6 +149,7 @@ class MultiPaxosEngine(SmrEngine):
         self._m_decided = metrics.counter("paxos.decided")
         self._m_campaigns = metrics.counter("paxos.campaigns")
         self._m_elections = metrics.counter("paxos.elections")
+        self._m_batch_size = metrics.histogram("paxos.batch_size")
         if self.params.lease_duration >= self.params.suspect_timeout_min:
             raise ConfigurationError(
                 "lease_duration must be strictly below suspect_timeout_min "
@@ -241,11 +249,13 @@ class MultiPaxosEngine(SmrEngine):
                 existing in self.inflight or self.log.is_decided(existing)
             ):
                 return  # duplicate submission
-        if self.params.batch_delay > 0 and self._batchable(payload):
+        if self._batchable(payload) and (
+            self.params.batch_delay > 0 or self._window_full()
+        ):
             self._batch.append(payload)
             if key is not None:
                 self._batch_keys.add(key)
-            if len(self._batch) >= self.params.batch_max:
+            if len(self._batch) >= self.params.batch_max or self.params.batch_delay <= 0:
                 self._flush_batch()
             elif self._batch_timer is None or not self._batch_timer.active:
                 self._batch_timer = self.transport.set_timer(
@@ -253,13 +263,18 @@ class MultiPaxosEngine(SmrEngine):
                 )
             return
         # Non-batchable payloads (reconfigurations, noops) must own their
-        # slot and must not overtake buffered commands: flush first.
-        self._flush_batch()
+        # slot and must not overtake buffered commands: flush first, past
+        # the window cap if need be — a reconfiguration must never park
+        # behind client traffic.
+        self._flush_batch(force=True)
         slot = self.next_slot
         self.next_slot += 1
         if key is not None:
             self.assigned_keys[key] = slot
         self._send_accepts(slot, payload)
+
+    def _window_full(self) -> bool:
+        return self.params.window > 0 and len(self.inflight) >= self.params.window
 
     def _batchable(self, payload: Any) -> bool:
         # Only plain client commands batch; anything with seal semantics
@@ -272,22 +287,33 @@ class MultiPaxosEngine(SmrEngine):
             and not isinstance(payload, Noop)
         )
 
-    def _flush_batch(self) -> None:
+    def _flush_batch(self, force: bool = False) -> None:
+        """Drain the batch buffer into Phase-2 slots.
+
+        Emits slots of up to ``batch_max`` commands while the pipeline
+        window has room; with ``force=True`` the window cap is ignored
+        (used when a non-batchable payload must not overtake buffered
+        commands). Whatever cannot be emitted stays buffered and rides
+        the next freed slot — that is the adaptive-batching backpressure
+        path.
+        """
         if not self._batch:
             return
         if self._batch_timer is not None:
             self._batch_timer.cancel()
-        payloads = tuple(self._batch)
-        self._batch.clear()
-        self._batch_keys.clear()
-        slot = self.next_slot
-        self.next_slot += 1
-        value: Any = payloads[0] if len(payloads) == 1 else Batch(payloads)
-        for payload in payloads:
-            key = proposal_key(payload)
-            if key is not None:
-                self.assigned_keys[key] = slot
-        self._send_accepts(slot, value)
+        while self._batch and (force or not self._window_full()):
+            chunk = self._batch[: self.params.batch_max]
+            del self._batch[: len(chunk)]
+            slot = self.next_slot
+            self.next_slot += 1
+            value: Any = chunk[0] if len(chunk) == 1 else Batch(tuple(chunk))
+            for payload in chunk:
+                key = proposal_key(payload)
+                if key is not None:
+                    self._batch_keys.discard(key)
+                    self.assigned_keys[key] = slot
+            self._m_batch_size.record(len(chunk))
+            self._send_accepts(slot, value)
 
     def _send_accepts(self, slot: Slot, value: Any, only: set[NodeId] | None = None) -> None:
         entry = self.inflight.get(slot)
@@ -541,6 +567,16 @@ class MultiPaxosEngine(SmrEngine):
             for peer in self.peers:
                 if peer != self.transport.node:
                     self.transport.send(peer, decide, size=size)
+            # A slot just left the pipeline window; commands that were
+            # buffered behind it ride out now as one batch — unless a
+            # live batch timer is still gathering within its latency
+            # bound.
+            if self._batch and (
+                len(self._batch) >= self.params.batch_max
+                or self._batch_timer is None
+                or not self._batch_timer.active
+            ):
+                self._flush_batch()
 
     def _handle_accept_nack(self, msg: m.AcceptNack, sender: NodeId) -> None:
         if msg.ballot != self.ballot:

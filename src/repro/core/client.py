@@ -42,6 +42,32 @@ class ClientReply:
 
 
 @dataclass(frozen=True, slots=True)
+class RequestBatch:
+    """Client -> replica: execute these commands (one wire frame).
+
+    Wire-level coalescing for pipelined clients: many commands share one
+    frame's encode/decode/dispatch overhead. The replica unpacks and
+    handles each exactly as an individual :class:`ClientRequest` —
+    ordering, dedup, redirects, and replies stay per-command.
+    """
+
+    commands: tuple[Command, ...]
+    reply_to: NodeId
+
+
+@dataclass(frozen=True, slots=True)
+class ReplyBatch:
+    """Replica -> client: replies for commands that executed together.
+
+    Emitted when one decided consensus batch completes several commands
+    for the same client; the client demultiplexes it back into individual
+    :class:`ClientReply` handling.
+    """
+
+    replies: tuple[ClientReply, ...]
+
+
+@dataclass(frozen=True, slots=True)
 class Redirect:
     """Replica -> client: I am retired; talk to these members."""
 
@@ -156,6 +182,9 @@ class Client(Process):
     def on_message(self, payload: Any, sender: NodeId) -> None:
         if isinstance(payload, ClientReply):
             self._handle_reply(payload)
+        elif isinstance(payload, ReplyBatch):
+            for reply in payload.replies:
+                self._handle_reply(reply)
         elif isinstance(payload, Redirect):
             self._handle_redirect(payload)
 

@@ -47,7 +47,13 @@ from repro.consensus.interface import (
     InstanceMessage,
     Transport,
 )
-from repro.core.client import ClientReply, ClientRequest, Redirect
+from repro.core.client import (
+    ClientReply,
+    ClientRequest,
+    Redirect,
+    ReplyBatch,
+    RequestBatch,
+)
 from repro.core.command import ReconfigCommand, ReconfigRequest
 from repro.core.epoch import EpochRuntime
 from repro.core.runtime import Runtime
@@ -220,6 +226,9 @@ class ReconfigurableReplica(Process):
 
         self._pending: dict[CommandId, _PendingReply] = {}
         self._replies: dict[CommandId, tuple[Any, EpochId, int]] = {}
+        #: while a decided Batch executes, replies coalesce here (keyed by
+        #: destination) and leave as one ReplyBatch frame per client.
+        self._reply_buffer: dict[NodeId, list[ClientReply]] | None = None
         self._sealed_cids: set[CommandId] = set()
         self.committed: list[tuple[Any, EpochId, int]] = []
         self.lease_reads = 0
@@ -618,8 +627,38 @@ class ReconfigurableReplica(Process):
         assert self.state is not None
         if isinstance(payload, Batch):
             # One slot, many commands: each gets its own virtual position.
-            for inner in payload.payloads:
-                self._execute(inner, epoch)
+            # Replies produced while the batch executes are coalesced per
+            # destination and leave as one ReplyBatch frame per client —
+            # the reply-path half of wire-level batching. Plain Commands
+            # (the entire hot path) run in an inlined loop; anything else
+            # in a mixed batch falls back to the general case.
+            opened = self._reply_buffer is None
+            if opened:
+                self._reply_buffer = {}
+            try:
+                state_apply = self.state.apply
+                commits = self.committed
+                listener = self.commit_listener
+                for inner in payload.payloads:
+                    if type(inner) is not Command:
+                        self._execute(inner, epoch)
+                        continue
+                    vindex = self.virtual_index
+                    self.virtual_index = vindex + 1
+                    value = state_apply(inner)
+                    self._complete_command(inner.cid, value, epoch, vindex)
+                    commits.append((inner, epoch, vindex))
+                    self._count_commit(epoch)
+                    if listener is not None:
+                        listener(self.now, inner, epoch, vindex, value)
+            finally:
+                if opened:
+                    buffered, self._reply_buffer = self._reply_buffer, None
+                    for dest, replies in buffered.items():
+                        if len(replies) == 1:
+                            self.send(dest, replies[0])
+                        else:
+                            self.send(dest, ReplyBatch(tuple(replies)))
             return
         vindex = self.virtual_index
         self.virtual_index += 1
@@ -642,7 +681,11 @@ class ReconfigurableReplica(Process):
         self._replies[cid] = (value, epoch, vindex)
         pending = self._pending.pop(cid, None)
         if pending is not None:
-            self.send(pending.client, ClientReply(cid, value, epoch, vindex))
+            reply = ClientReply(cid, value, epoch, vindex)
+            if self._reply_buffer is not None:
+                self._reply_buffer.setdefault(pending.client, []).append(reply)
+            else:
+                self.send(pending.client, reply)
 
     def _finish_epoch(self, runtime: EpochRuntime) -> None:
         assert self.state is not None
@@ -990,30 +1033,32 @@ class ReconfigurableReplica(Process):
     # ------------------------------------------------------------------
 
     def _handle_client_request(self, request: ClientRequest) -> None:
-        command = request.command
+        self._admit_command(request.command, request.reply_to)
+
+    def _admit_command(self, command: Command, reply_to: NodeId) -> None:
         cached = self._replies.get(command.cid)
         if cached is not None:
             value, epoch, vindex = cached
-            self.send(request.reply_to, ClientReply(command.cid, value, epoch, vindex))
+            self.send(reply_to, ClientReply(command.cid, value, epoch, vindex))
             return
         if (
             self.params.read_mode == "lease"
             and command.op in self.params.read_only_ops
-            and self._serve_lease_read(command, request.reply_to)
+            and self._serve_lease_read(command, reply_to)
         ):
             return
         if self.is_retired:
             config = self.newest_config
             members = config.members if config is not None else Membership(frozenset())
             epoch = config.epoch if config is not None else -1
-            self.send(request.reply_to, Redirect(command.cid, members, epoch))
+            self.send(reply_to, Redirect(command.cid, members, epoch))
             return
-        self._pending[command.cid] = _PendingReply(request.reply_to, self.now)
+        self._pending[command.cid] = _PendingReply(reply_to, self.now)
         if not self._propose_newest(command):
             config = self.newest_config
             if config is not None:
                 self.send(
-                    request.reply_to,
+                    reply_to,
                     Redirect(command.cid, config.members, config.epoch),
                 )
 
@@ -1095,6 +1140,12 @@ class ReconfigurableReplica(Process):
             self._route_instance_message(payload, sender)
         elif isinstance(payload, ClientRequest):
             self._handle_client_request(payload)
+        elif isinstance(payload, RequestBatch):
+            # Unpack a coalesced frame; each command takes the ordinary
+            # per-command path (dedup, lease reads, redirects, pending).
+            reply_to = payload.reply_to
+            for command in payload.commands:
+                self._admit_command(command, reply_to)
         elif isinstance(payload, ReconfigRequest):
             self._handle_reconfig_request(payload)
         elif isinstance(payload, EpochAnnounce):

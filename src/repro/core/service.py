@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable
 
 from repro.consensus.interface import EngineFactory
-from repro.consensus.multipaxos import MultiPaxosEngine
+from repro.consensus.multipaxos import MultiPaxosEngine, PaxosParams
 from repro.core.client import Client, ClientParams, OperationSource, OpRecord
 from repro.core.command import ReconfigCommand
 from repro.core.reconfig import (
@@ -73,10 +73,24 @@ class ReplicatedService:
         commit_listener: CommitListener | None = None,
         order_listener: OrderListener | None = None,
         storage_factory: Callable[[str], Any] | None = None,
+        batch_delay: float = 0.0,
+        batch_max: int = 32,
+        window: int = 0,
     ):
         self.sim = sim
         self.app_factory = app_factory
         if params is None:
+            if engine_factory is None and (batch_delay > 0 or window > 0):
+                # Commit-path knobs without hand-building an engine
+                # factory: the common way tests and benches turn on
+                # leader batching and a bounded proposer pipeline.
+                engine_factory = MultiPaxosEngine.factory(
+                    PaxosParams(
+                        batch_delay=batch_delay,
+                        batch_max=batch_max,
+                        window=window,
+                    )
+                )
             factory = engine_factory or MultiPaxosEngine.factory()
             params = ReconfigParams(engine_factory=factory, pipeline_depth=pipeline_depth)
         self.params = params

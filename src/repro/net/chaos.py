@@ -637,6 +637,7 @@ def run_chaos_scenario(
     schedule: FailureSchedule | None = None,
     verbose: bool = False,
     durable: bool = False,
+    batching: bool = False,
 ) -> ChaosReport:
     """Run a seeded failure schedule against a live cluster and verify it.
 
@@ -650,6 +651,11 @@ def run_chaos_scenario(
     the schedule's restart comes back through crash recovery instead of
     amnesia; each node's wal/recovery counters land in
     :attr:`ChaosReport.recovery`.
+
+    With ``batching=True`` every replica runs the batched, pipelined
+    commit path (``--batch-delay 2 --window 16``), so the Wing–Gong
+    verdict covers batch demultiplexing and batch/epoch-cut interaction
+    under the same crash/partition/reconfigure schedule.
     """
     from repro.net.cluster import LocalCluster
 
@@ -657,6 +663,8 @@ def run_chaos_scenario(
     cluster = LocalCluster(
         replicas=replicas, reserve=2, seed=seed, wire=wire,
         log_dir=log_dir, chaos=True, verbose=verbose, durable=durable,
+        batch_delay_ms=2.0 if batching else 0.0,
+        window=16 if batching else 0,
     )
     with cluster:
         cluster.start(timeout=20.0)

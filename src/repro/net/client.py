@@ -23,7 +23,13 @@ import socket
 import time
 from typing import Any, Iterable
 
-from repro.core.client import ClientReply, ClientRequest, Redirect
+from repro.core.client import (
+    ClientReply,
+    ClientRequest,
+    Redirect,
+    ReplyBatch,
+    RequestBatch,
+)
 from repro.core.command import ReconfigCommand, ReconfigRequest
 from repro.net import codec
 from repro.net.transport import Address
@@ -33,6 +39,13 @@ from repro.types import ClientId, Command, CommandId, Membership, NodeId
 class LiveClientError(RuntimeError):
     """A request could not be completed before its deadline."""
 
+
+#: commands coalesced per RequestBatch frame by the pipelined submit path.
+#: Bounded so a lost frame costs at most this many retransmissions and a
+#: single frame stays far below the codec's frame-size ceiling. 96 was the
+#: sweep winner on the commit benchmark (T14): larger frames start to
+#: stall the window behind one slow decode, smaller ones waste dispatch.
+PIPELINE_COALESCE = 96
 
 #: floor for one attempt's socket budget, in seconds. At the deadline edge
 #: ``min(request_timeout, give_up_at - now)`` goes to zero or negative —
@@ -71,7 +84,10 @@ class LiveClient:
         self._target_index = 0
         self._sock: socket.socket | None = None
         self._sock_node: NodeId | None = None
-        self._buffer = b""
+        #: inbound reassembly buffer; frames are consumed from ``_buf_pos``
+        #: and the prefix is compacted lazily (amortized O(1) per byte).
+        self._buffer = bytearray()
+        self._buf_pos = 0
 
     # -- public API ---------------------------------------------------------
 
@@ -105,20 +121,24 @@ class LiveClient:
         Keeps up to ``window`` requests in flight on one connection and
         returns the per-command latency (seconds, submission order). Used
         by the wire benchmark: the one-at-a-time :meth:`submit` loop
-        measures client round-trips, not replica throughput. Retries reuse
-        CommandIds (replica dedup keeps this exactly-once); a command not
+        measures client round-trips, not replica throughput. Outgoing
+        commands coalesce into :class:`RequestBatch` frames (up to
+        :data:`PIPELINE_COALESCE` per frame) so frame overhead amortizes;
+        the replica unpacks them per command. Retries reuse CommandIds
+        (replica dedup keeps this exactly-once); a command not
         acknowledged by ``deadline`` raises :class:`LiveClientError`.
         """
-        give_up_at = time.monotonic() + deadline
+        started = time.monotonic()
+        give_up_at = started + deadline
         latencies: list[float] = [0.0] * len(ops)
-        pending: list[tuple[CommandId, Any]] = []
+        pending: list[tuple[CommandId, Command]] = []
         index_of: dict[CommandId, int] = {}
         for i, (op, args, size) in enumerate(ops):
             self.seq += 1
             cid = CommandId(self.client, self.seq)
             command = Command(cid, op, tuple(args), size)
             index_of[cid] = i
-            pending.append((cid, ClientRequest(command, self.node)))
+            pending.append((cid, command))
         acked: set[CommandId] = set()
         sent: dict[CommandId, float] = {}
         first_sent: dict[CommandId, float] = {}
@@ -126,26 +146,40 @@ class LiveClient:
         target = self.view[self._target_index % len(self.view)]
         while len(acked) < len(ops):
             if time.monotonic() >= give_up_at:
+                unacked = [
+                    index_of[cid] for cid, _ in pending if cid not in acked
+                ]
+                shown = ", ".join(str(i) for i in unacked[:10])
+                if len(unacked) > 10:
+                    shown += f", ... ({len(unacked) - 10} more)"
                 raise LiveClientError(
-                    f"pipelined run stalled: {len(acked)}/{len(ops)} acknowledged"
+                    f"pipelined run stalled: {len(acked)}/{len(ops)} "
+                    f"acknowledged after {time.monotonic() - started:.1f}s "
+                    f"(deadline {deadline:g}s, window {window}); "
+                    f"unacknowledged op indices: [{shown}]"
                 )
             try:
                 sock = self._connect(target)
-                # Fill the window in one sendall: client-side coalescing.
-                # Frames carry their destination, so encode per target.
+                # Fill the window in one sendall, packing commands into
+                # RequestBatch frames: one frame's encode/dispatch cost
+                # covers up to PIPELINE_COALESCE commands. Frames carry
+                # their destination, so encode per target.
                 burst: list[bytes] = []
+                group: list[Command] = []
+                now = time.monotonic()
                 while next_to_send < len(pending) and len(sent) < window:
-                    cid, request = pending[next_to_send]
+                    cid, command = pending[next_to_send]
                     next_to_send += 1
                     if cid in acked:
                         continue
-                    burst.append(
-                        codec.encode_frame(
-                            self.node, target, request, self.wire_format
-                        )
-                    )
-                    sent[cid] = time.monotonic()
-                    first_sent.setdefault(cid, sent[cid])
+                    group.append(command)
+                    sent[cid] = now
+                    first_sent.setdefault(cid, now)
+                    if len(group) >= PIPELINE_COALESCE:
+                        burst.append(self._pipeline_frame(target, group))
+                        group = []
+                if group:
+                    burst.append(self._pipeline_frame(target, group))
                 if burst:
                     sock.sendall(b"".join(burst))
                 body = self._read_frame(sock, self._attempt_budget(give_up_at))
@@ -167,21 +201,34 @@ class LiveClient:
                 target = self.view[self._target_index % len(self.view)]
                 next_to_send, sent = self._first_unacked(pending, acked), {}
                 continue
-            if (
-                isinstance(payload, ClientReply)
-                and payload.cid in index_of
-                and payload.cid not in acked
-            ):
-                # Normal case: measured from the in-flight send. After a
-                # rewind the in-flight record is gone; fall back to the
-                # first transmission so retried commands count their full
-                # wait instead of being dropped from the sample.
-                t0 = sent.pop(payload.cid, None)
-                if t0 is None:
-                    t0 = first_sent.get(payload.cid, time.monotonic())
-                latencies[index_of[payload.cid]] = time.monotonic() - t0
-                acked.add(payload.cid)
+            replies = (
+                payload.replies if isinstance(payload, ReplyBatch) else (payload,)
+            )
+            for reply in replies:
+                if (
+                    isinstance(reply, ClientReply)
+                    and reply.cid in index_of
+                    and reply.cid not in acked
+                ):
+                    # Normal case: measured from the in-flight send. After
+                    # a rewind the in-flight record is gone; fall back to
+                    # the first transmission so retried commands count
+                    # their full wait instead of dropping from the sample.
+                    t0 = sent.pop(reply.cid, None)
+                    if t0 is None:
+                        t0 = first_sent.get(reply.cid, time.monotonic())
+                    latencies[index_of[reply.cid]] = time.monotonic() - t0
+                    acked.add(reply.cid)
         return latencies
+
+    def _pipeline_frame(self, target: NodeId, group: list[Command]) -> bytes:
+        """Encode one outgoing pipelined frame (single or batched)."""
+        payload: Any = (
+            ClientRequest(group[0], self.node)
+            if len(group) == 1
+            else RequestBatch(tuple(group), self.node)
+        )
+        return codec.encode_frame(self.node, target, payload, self.wire_format)
 
     @staticmethod
     def _first_unacked(
@@ -261,7 +308,8 @@ class LiveClient:
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._sock = sock
         self._sock_node = target
-        self._buffer = b""
+        self._buffer = bytearray()
+        self._buf_pos = 0
         return sock
 
     def _drop_connection(self) -> None:
@@ -272,7 +320,8 @@ class LiveClient:
                 pass
         self._sock = None
         self._sock_node = None
-        self._buffer = b""
+        self._buffer = bytearray()
+        self._buf_pos = 0
 
     def _read_reply(
         self, sock: socket.socket, cid: CommandId, timeout: float
@@ -293,13 +342,20 @@ class LiveClient:
 
     def _read_frame(self, sock: socket.socket, timeout: float) -> bytes | None:
         give_up_at = time.monotonic() + timeout
+        buffer = self._buffer
         while True:
-            if len(self._buffer) >= 4:
-                length = codec.frame_length(self._buffer[:4])
-                if len(self._buffer) >= 4 + length:
-                    body = self._buffer[4 : 4 + length]
-                    self._buffer = self._buffer[4 + length :]
+            pos = self._buf_pos
+            if len(buffer) - pos >= 4:
+                length = codec.frame_length(buffer[pos : pos + 4])
+                if len(buffer) - pos >= 4 + length:
+                    body = bytes(buffer[pos + 4 : pos + 4 + length])
+                    self._buf_pos = pos + 4 + length
                     return body
+            # Compact the consumed prefix before blocking on the socket so
+            # the buffer never grows without bound across a long run.
+            if pos:
+                del buffer[:pos]
+                self._buf_pos = 0
             remaining = give_up_at - time.monotonic()
             if remaining <= 0:
                 return None
@@ -310,4 +366,4 @@ class LiveClient:
                 return None
             if not chunk:
                 raise ConnectionError("replica closed the connection")
-            self._buffer += chunk
+            buffer += chunk

@@ -75,6 +75,10 @@ class LocalCluster:
         durable: bool = False,
         data_root: str | Path | None = None,
         fsync: bool = False,
+        batch_delay_ms: float = 0.0,
+        batch_max: int = 32,
+        window: int = 0,
+        uvloop: str | None = None,
         extra_args: list[str] | None = None,
     ):
         if replicas < 1:
@@ -92,6 +96,12 @@ class LocalCluster:
         self.chaos = chaos
         #: respawn budget per replica for bind-time port races.
         self.spawn_retries = spawn_retries
+        #: commit-path tuning forwarded to every replica (see
+        #: ``repro serve --batch-delay/--batch-max/--window/--uvloop``).
+        self.batch_delay_ms = batch_delay_ms
+        self.batch_max = batch_max
+        self.window = window
+        self.uvloop = uvloop
         #: extra ``repro serve`` flags appended to every replica's argv
         #: (e.g. the shard ownership flags a ShardedCluster passes down).
         self.extra_args = list(extra_args or [])
@@ -166,6 +176,13 @@ class LocalCluster:
             argv += ["--data-dir", str(self.data_root / name)]
             if not self.fsync:
                 argv += ["--no-fsync"]
+        if self.batch_delay_ms > 0:
+            argv += ["--batch-delay", str(self.batch_delay_ms),
+                     "--batch-max", str(self.batch_max)]
+        if self.window > 0:
+            argv += ["--window", str(self.window)]
+        if self.uvloop is not None:
+            argv += ["--uvloop", self.uvloop]
         if name in self.initial:
             argv += ["--initial", ",".join(self.initial)]
         if self.verbose:

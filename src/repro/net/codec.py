@@ -79,6 +79,20 @@ _REGISTRY: dict[str, type] = {}
 _BY_TYPE: dict[type, str] = {}
 _bootstrapped = False
 
+#: types whose instances may be byte-memoized across codec calls. Only
+#: for deeply immutable values that fan out across several envelopes per
+#: commit: the same ``Batch`` object rides the leader's ``Accept`` and
+#: ``Decide`` wire frames *and* every replica's ``WalAccept``/``WalDecide``
+#: records, so caching its encoded run turns up to four full encode passes
+#: per batch into one encode plus three splices. The memo keys on object
+#: identity (one entry per type), which is sound exactly because the
+#: values are frozen: the same object always encodes to the same bytes.
+_CACHEABLE: set[type] = set()
+#: wire-table type ids of the cacheable types (rebuilt with the tables).
+_CACHEABLE_TIDS: frozenset[int] = frozenset()
+#: per-type one-entry memo: type -> (object, its encoded byte run).
+_PAYLOAD_MEMO: dict[type, tuple[Any, bytes]] = {}
+
 
 def register(cls: type, name: str | None = None) -> type:
     """Register a dataclass under a wire name (idempotent; returns ``cls``)."""
@@ -158,6 +172,8 @@ def _bootstrap() -> None:
         # client protocol
         cl.ClientRequest,
         cl.ClientReply,
+        cl.RequestBatch,
+        cl.ReplyBatch,
         cl.Redirect,
         # reconfiguration protocol
         cmd.ReconfigCommand,
@@ -200,6 +216,9 @@ def _bootstrap() -> None:
     )
     for cls in protocol:
         register(cls)
+    # The batch payload is the one value that crosses many envelopes per
+    # commit; everything else on the wire is either small or unique.
+    _CACHEABLE.add(Batch)
 
 
 # ---------------------------------------------------------------------------
@@ -328,7 +347,7 @@ def wire_tables() -> tuple[
     order), so two processes agree on the tables iff they registered the
     same protocol — which every ``repro`` process does at bootstrap.
     """
-    global _TABLES
+    global _TABLES, _CACHEABLE_TIDS
     _bootstrap()
     if _TABLES is None or _TABLES[0] != len(_REGISTRY):
         types = [_REGISTRY[name] for name in sorted(_REGISTRY)]
@@ -339,6 +358,10 @@ def wire_tables() -> tuple[
             for cls, names in zip(types, field_table)
         ]
         _TABLES = (len(_REGISTRY), types, ids, field_table, builders)
+        _CACHEABLE_TIDS = frozenset(
+            ids[cls] for cls in _CACHEABLE if cls in ids
+        )
+        _PAYLOAD_MEMO.clear()
     return _TABLES
 
 
@@ -373,6 +396,18 @@ def _bencode(
 ) -> None:
     tid = ids.get(type(value))
     if tid is not None:
+        if type(value) in _CACHEABLE:
+            entry = _PAYLOAD_MEMO.get(type(value))
+            if entry is not None and entry[0] is value:
+                out += entry[1]
+                return
+            start = len(out)
+            out.append(_T_DATACLASS)
+            _write_varint(out, tid)
+            for name in field_table[tid]:
+                _bencode(getattr(value, name), out, ids, field_table)
+            _PAYLOAD_MEMO[type(value)] = (value, bytes(out[start:]))
+            return
         out.append(_T_DATACLASS)
         _write_varint(out, tid)
         for name in field_table[tid]:
@@ -467,6 +502,7 @@ def _bdecode(
         # -- one value header: scalars complete immediately, containers
         #    push a frame and loop back for their elements.
         if tag == _T_DATACLASS:
+            node_start = pos - 1  # the tag byte, for the decode-side memo
             b = buf[pos]
             pos += 1
             if b < 0x80:
@@ -485,7 +521,7 @@ def _bdecode(
             if need:
                 if top is not None:
                     stack.append(top)
-                top = [_T_DATACLASS, need, [], tid]
+                top = [_T_DATACLASS, need, [], tid, node_start]
                 continue
             value = builders[tid]([])
         elif tag == _T_INT:
@@ -576,7 +612,15 @@ def _bdecode(
             kind = top[0]
             items = top[2]
             if kind == _T_DATACLASS:
-                value = builders[top[3]](items)
+                tid = top[3]
+                value = builders[tid](items)
+                if tid in _CACHEABLE_TIDS:
+                    # A decoded batch is about to be re-encoded into this
+                    # replica's WAL records; remember its source bytes so
+                    # those encodes become splices.
+                    _PAYLOAD_MEMO[types[tid]] = (
+                        value, bytes(buf[top[4] : pos])
+                    )
             elif kind == _T_LIST:
                 value = items
             elif kind == _T_TUPLE:
@@ -663,6 +707,39 @@ def encode_frame(
         {"s": str(sender), "d": str(dest), "p": _encode(payload)},
         separators=(",", ":"),
     ).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise CodecError(f"frame body of {len(body)} bytes exceeds MAX_FRAME_BYTES")
+    return len(body).to_bytes(4, "big") + body
+
+
+def encode_frame_precoded(
+    sender: NodeId, dest: NodeId, payload_bytes: bytes, fmt: str | None = None
+) -> bytes:
+    """Frame an already-encoded payload (from :func:`encode_payload`).
+
+    Broadcast fast path: a payload fanned out to N destinations is
+    encoded once and framed N times, skipping the recursive encode for
+    all but the first copy. Byte-identical to :func:`encode_frame` for
+    the same payload (pinned by a codec parity test).
+    """
+    _bootstrap()
+    if _check_format(fmt) == "binary":
+        out = bytearray(4)  # length prefix patched in below
+        out.append(BINARY_MAGIC)
+        for node in (sender, dest):
+            raw = str(node).encode("utf-8")
+            _write_varint(out, len(raw))
+            out += raw
+        out += payload_bytes
+        body_len = len(out) - 4
+        if body_len > MAX_FRAME_BYTES:
+            raise CodecError(f"frame body of {body_len} bytes exceeds MAX_FRAME_BYTES")
+        out[0:4] = body_len.to_bytes(4, "big")
+        return bytes(out)
+    prefix = json.dumps(
+        {"s": str(sender), "d": str(dest)}, separators=(",", ":")
+    ).encode("utf-8")
+    body = prefix[:-1] + b',"p":' + payload_bytes + b"}"
     if len(body) > MAX_FRAME_BYTES:
         raise CodecError(f"frame body of {len(body)} bytes exceeds MAX_FRAME_BYTES")
     return len(body).to_bytes(4, "big") + body
@@ -811,6 +888,7 @@ __all__ = [
     "decode_frame_body",
     "decode_payload",
     "encode_frame",
+    "encode_frame_precoded",
     "encode_payload",
     "estimate_size",
     "frame_format",

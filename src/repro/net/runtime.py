@@ -27,6 +27,29 @@ from repro.sim.trace import TraceLog, TraceRecord
 from repro.types import NodeId, Time
 
 
+def make_event_loop(uvloop_mode: str = "auto") -> tuple[asyncio.AbstractEventLoop, str]:
+    """Build an event loop, preferring uvloop when asked and available.
+
+    ``uvloop_mode`` is ``"auto"`` (use uvloop if importable, silently fall
+    back to stock asyncio — the same fallback style as wire-format
+    negotiation), ``"on"`` (require uvloop, raise if missing) or ``"off"``.
+    Returns ``(loop, implementation_name)``.
+    """
+    if uvloop_mode not in ("auto", "on", "off"):
+        raise SimulationError(f"unknown uvloop mode {uvloop_mode!r}")
+    if uvloop_mode in ("auto", "on"):
+        try:
+            import uvloop  # type: ignore[import-not-found]
+        except ImportError:
+            if uvloop_mode == "on":
+                raise SimulationError(
+                    "uvloop requested with --uvloop on but is not installed"
+                ) from None
+        else:
+            return uvloop.new_event_loop(), "uvloop"
+    return asyncio.new_event_loop(), "asyncio"
+
+
 class LiveCall:
     """Handle to one ``call_later`` callback (``ScheduledCall`` protocol).
 
@@ -68,12 +91,13 @@ class LiveRuntime:
         trace_enabled: bool = True,
         trace_capacity: int | None = 200_000,
         echo_trace: bool = False,
+        uvloop: str = "auto",
     ):
         self.rng = SeededRng(seed)
         self.network = transport
         trace_cls = EchoTraceLog if echo_trace else TraceLog
         self.trace = trace_cls(enabled=trace_enabled, capacity=trace_capacity)
-        self._loop = asyncio.new_event_loop()
+        self._loop, self.loop_impl = make_event_loop(uvloop)
         self._t0 = self._loop.time()
         self._processes: dict[NodeId, Any] = {}
         self._started = False
@@ -128,6 +152,13 @@ class LiveRuntime:
             raise SimulationError(f"process {process.node!r} already registered")
         self._processes[process.node] = process
         self.network.register(process.node, process.deliver)
+        # WAL group commit: wrap every inbound chunk's dispatch in the
+        # store's group window, so the records written while handling one
+        # chunk of protocol traffic share a single fsync (see
+        # TcpTransport.add_dispatch_group for the safety argument).
+        store = getattr(process, "storage", None)
+        if store is not None and hasattr(store, "group"):
+            self.network.add_dispatch_group(store.group)
         if self._started:
             self._loop.call_soon(process.on_start)
 

@@ -38,9 +38,10 @@ payload type.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import random
 import traceback
-from typing import Any, Callable
+from typing import Any, Callable, ContextManager
 
 from repro.metrics.registry import MetricsRegistry
 from repro.net import codec
@@ -336,6 +337,24 @@ class TcpTransport:
         self._reply_routes: dict[NodeId, tuple[asyncio.StreamWriter, str]] = {}
         self._server: asyncio.base_events.Server | None = None
         self._clock: Callable[[], float] = lambda: 0.0
+        #: context-manager factories wrapped around each inbound chunk's
+        #: dispatch loop (see :meth:`add_dispatch_group`).
+        self._dispatch_groups: list[Callable[[], ContextManager[Any]]] = []
+        #: one-entry broadcast memo: (payload object, fmt, encoded bytes).
+        self._encoded_payload: tuple[Any, str, bytes] | None = None
+
+    def add_dispatch_group(self, factory: Callable[[], ContextManager[Any]]) -> None:
+        """Wrap every inbound chunk's dispatch loop in ``factory()``.
+
+        The runtime registers the replica store's group-commit window
+        here: all WAL appends triggered while dispatching the frames of
+        one network chunk then share a single fsync, issued when the
+        window closes — which is *before* this callback returns, hence
+        before any peer writer task (they are woken, not run, during
+        dispatch) can put a resulting protocol message on a socket. That
+        ordering is what keeps durable-before-send intact per window.
+        """
+        self._dispatch_groups.append(factory)
 
     def bind_clock(self, clock: Callable[[], float]) -> None:
         """Runtime wiring: timestamps for delivered :class:`Message`\\ s."""
@@ -411,32 +430,15 @@ class TcpTransport:
                 if not chunk:
                     break
                 buffer += chunk
-                pos = 0
-                have = len(buffer)
-                while have - pos >= 4:
-                    length = codec.frame_length(buffer[pos : pos + 4])
-                    if have - pos - 4 < length:
-                        break  # incomplete frame: wait for the next chunk
-                    body = bytes(buffer[pos + 4 : pos + 4 + length])
-                    pos += 4 + length
-                    try:
-                        sender, dest, payload = codec.decode_frame_body(body)
-                    except codec.CodecError:
-                        continue  # poison frame: drop it, keep the stream
-                    if sender not in self.addresses:
-                        self._reply_routes[sender] = (
-                            writer,
-                            codec.frame_format(body),
-                        )
-                    try:
-                        self._dispatch_local(sender, dest, payload, length + 4)
-                    except Exception:  # noqa: BLE001
-                        # A handler bug must not tear down the connection
-                        # (and with it every queued frame from this peer).
-                        # The simulator fails fast; here we log and go on.
-                        traceback.print_exc()
-                if pos:
-                    del buffer[:pos]
+                if self._dispatch_groups:
+                    # Group-commit windows: every WAL append triggered by
+                    # this chunk's frames shares one fsync at stack exit.
+                    with contextlib.ExitStack() as stack:
+                        for factory in self._dispatch_groups:
+                            stack.enter_context(factory())
+                        self._drain_chunk(buffer, writer)
+                else:
+                    self._drain_chunk(buffer, writer)
         except (
             asyncio.IncompleteReadError,
             ConnectionError,
@@ -451,6 +453,35 @@ class TcpTransport:
             for node in stale:
                 del self._reply_routes[node]
             writer.close()
+
+    def _drain_chunk(self, buffer: bytearray, writer: asyncio.StreamWriter) -> None:
+        """Parse and dispatch every complete frame currently buffered."""
+        pos = 0
+        have = len(buffer)
+        while have - pos >= 4:
+            length = codec.frame_length(buffer[pos : pos + 4])
+            if have - pos - 4 < length:
+                break  # incomplete frame: wait for the next chunk
+            body = bytes(buffer[pos + 4 : pos + 4 + length])
+            pos += 4 + length
+            try:
+                sender, dest, payload = codec.decode_frame_body(body)
+            except codec.CodecError:
+                continue  # poison frame: drop it, keep the stream
+            if sender not in self.addresses:
+                self._reply_routes[sender] = (
+                    writer,
+                    codec.frame_format(body),
+                )
+            try:
+                self._dispatch_local(sender, dest, payload, length + 4)
+            except Exception:  # noqa: BLE001
+                # A handler bug must not tear down the connection
+                # (and with it every queued frame from this peer).
+                # The simulator fails fast; here we log and go on.
+                traceback.print_exc()
+        if pos:
+            del buffer[:pos]
 
     def _dispatch_local(
         self, sender: NodeId, dest: NodeId, payload: Any, size: int
@@ -496,7 +527,18 @@ class TcpTransport:
                 # JSON-only client of a binary cluster still gets JSON.
                 route, fmt = entry
         try:
-            frame = codec.encode_frame(sender, dest, payload, fmt)
+            # Broadcast fast path: consecutive sends of the *same* payload
+            # object (an Accept/Decide fanned out to every peer) reuse one
+            # payload encoding and only re-frame the header. Protocol
+            # payloads are frozen dataclasses, so identity implies equal
+            # bytes. The memo holds exactly one strong reference.
+            cached = self._encoded_payload
+            if cached is not None and cached[0] is payload and cached[1] == fmt:
+                payload_bytes = cached[2]
+            else:
+                payload_bytes = codec.encode_payload(payload, fmt)
+                self._encoded_payload = (payload, fmt, payload_bytes)
+            frame = codec.encode_frame_precoded(sender, dest, payload_bytes, fmt)
         except codec.CodecError:
             self.stats.messages_dropped += 1
             self._m_frames_dropped.inc()

@@ -216,7 +216,11 @@ class InstanceDurability:
         if slot in self._decided:
             return
         self._decided.add(slot)
-        self._store.append(WalDecide(self.instance, slot, value))
+        # Lazy: a decide only caches an outcome already durable at a
+        # quorum of acceptors (each fsynced its accept before voting).
+        # Losing the tail of decide records costs a catch-up on recovery,
+        # never an acknowledged command — so it does not buy an fsync.
+        self._store.append(WalDecide(self.instance, slot, value), lazy=True)
 
 
 class ReplicaStore:
@@ -237,7 +241,10 @@ class ReplicaStore:
         self._m_fsyncs = self.metrics.counter("wal.fsyncs")
         self._m_bytes = self.metrics.counter("wal.bytes")
         self._m_checkpoints = self.metrics.counter("wal.checkpoints")
+        self._m_group_size = self.metrics.histogram("wal.group_commit_size")
         self._m_recovery = self.metrics.histogram("recovery.duration")
+        #: reentrant group-commit window depth (see :meth:`group`).
+        self._group_depth = 0
 
         started = time.perf_counter()
         self.recovered = self._load()
@@ -259,6 +266,7 @@ class ReplicaStore:
             self._segment_path(self._next_segment_index()),
             fsync=fsync,
             on_append=self._on_append,
+            on_sync=self._on_sync,
         )
         self.closed = False
 
@@ -328,12 +336,52 @@ class ReplicaStore:
     def _on_append(self, frame_bytes: int, fsynced: bool) -> None:
         self._m_appends.inc()
         self._m_bytes.inc(frame_bytes)
-        if fsynced:
-            self._m_fsyncs.inc()
 
-    def append(self, record: Any) -> None:
-        """Durably append one record to the active segment."""
-        self._writer.append(record)
+    def _on_sync(self, frames: int) -> None:
+        # One fsync made `frames` records durable: the counter tracks
+        # media round trips, the histogram the amortization factor.
+        self._m_fsyncs.inc()
+        self._m_group_size.record(frames)
+
+    def append(self, record: Any, *, lazy: bool = False) -> None:
+        """Durably append one record to the active segment.
+
+        Inside an open :meth:`group` window the fsync is deferred to the
+        window close, so all records of one window share one media sync.
+        ``lazy=True`` appends never demand an fsync of their own (see
+        :meth:`WalWriter.append`) — reserved for records that are a cache
+        of state recoverable from a quorum.
+        """
+        self._writer.append(record, defer_sync=self._group_depth > 0, lazy=lazy)
+
+    # -- group commit ---------------------------------------------------------
+
+    def group(self) -> "_GroupWindow":
+        """A reentrant group-commit window, used as a context manager.
+
+        All appends issued while at least one window is open defer their
+        fsync; the outermost window close forces them to media with a
+        single ``os.fsync``. The live runtime wraps every inbound network
+        chunk's dispatch in one of these, so the records written while
+        processing N messages cost one sync — and crucially the sync
+        happens *before* the dispatch callback returns, which is before
+        the transport's writer tasks can put any resulting protocol
+        message on a socket. Durable-before-send is preserved per window.
+        A window that appends nothing costs nothing.
+        """
+        return _GroupWindow(self)
+
+    def begin_group(self) -> None:
+        self._group_depth += 1
+
+    def end_group(self) -> None:
+        self._group_depth -= 1
+        if self._group_depth == 0 and not self.closed:
+            # Checkpoint compaction may have swapped the active writer
+            # mid-window; any deferred frames in the retired segment were
+            # folded into the compaction segment and fsynced there, so
+            # syncing the current writer alone is sufficient.
+            self._writer.sync_deferred()
 
     def instance(self, instance_id: str) -> InstanceDurability:
         """The durability handle for one engine instance (cached)."""
@@ -415,27 +463,37 @@ class ReplicaStore:
             records.extend(segment_records)
         epoch_opens, instances = fold_records(records)
 
+        keep: list[Any] = []
+        for epoch in sorted(epoch_opens):
+            if epoch >= floor_epoch:
+                keep.append(epoch_opens[epoch])
+        for instance in sorted(instances):
+            epoch = _instance_epoch(instance)
+            if epoch is not None and epoch < floor_epoch:
+                continue
+            state = instances[instance]
+            if state.promised > Ballot.ZERO:
+                keep.append(WalPromise(instance, state.promised))
+            for slot in sorted(state.accepted):
+                ballot, value = state.accepted[slot]
+                keep.append(WalAccept(instance, slot, ballot, value))
+            for slot in sorted(state.decided):
+                keep.append(WalDecide(instance, slot, state.decided[slot]))
+
         new_index = self._next_segment_index()
         writer = WalWriter(
-            self._segment_path(new_index), fsync=self.fsync, on_append=self._on_append
+            self._segment_path(new_index),
+            fsync=self.fsync,
+            on_append=self._on_append,
+            on_sync=self._on_sync,
         )
         try:
-            for epoch in sorted(epoch_opens):
-                if epoch >= floor_epoch:
-                    writer.append(epoch_opens[epoch])
-            for instance in sorted(instances):
-                epoch = _instance_epoch(instance)
-                if epoch is not None and epoch < floor_epoch:
-                    continue
-                state = instances[instance]
-                if state.promised > Ballot.ZERO:
-                    writer.append(WalPromise(instance, state.promised))
-                for slot in sorted(state.accepted):
-                    ballot, value = state.accepted[slot]
-                    writer.append(WalAccept(instance, slot, ballot, value))
-                for slot in sorted(state.decided):
-                    writer.append(WalDecide(instance, slot, state.decided[slot]))
-            writer.sync()
+            # One write + one fsync for the whole surviving state: the
+            # compaction segment is durable atomically or not at all
+            # (either way the old segments are still on disk).
+            writer.append_many(keep)
+            if not self.fsync:
+                writer.sync()
         finally:
             writer.close()
 
@@ -444,6 +502,7 @@ class ReplicaStore:
             self._segment_path(new_index + 1),
             fsync=self.fsync,
             on_append=self._on_append,
+            on_sync=self._on_sync,
         )
         old_writer.close()
         for segment in old_segments:
@@ -470,3 +529,22 @@ class ReplicaStore:
         if not self.closed:
             self.closed = True
             self._writer.close()
+
+
+class _GroupWindow:
+    """Context manager for one :meth:`ReplicaStore.group` window."""
+
+    __slots__ = ("_store",)
+
+    def __init__(self, store: ReplicaStore):
+        self._store = store
+
+    def __enter__(self) -> ReplicaStore:
+        self._store.begin_group()
+        return self._store
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        # Close the window even on exception: records already written in
+        # it must still reach media before anything else happens.
+        self._store.end_group()
+        return False

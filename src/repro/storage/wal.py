@@ -118,6 +118,13 @@ class WalWriter:
     the guarantee to machine crashes at a large latency cost. Appends are
     synchronous on purpose: the caller's durable-before-send contract is
     "when this call returns, the record survives us".
+
+    Group commit amortizes the fsync: ``append(record, defer_sync=True)``
+    writes and flushes the frame but leaves the media sync to a later
+    :meth:`sync_deferred` / :meth:`sync`, so N records queued inside one
+    commit window cost one ``os.fsync`` instead of N. The caller owns the
+    window boundary (see ``ReplicaStore.group``) and must not let any
+    protocol message depend on a deferred record until the window closes.
     """
 
     def __init__(
@@ -126,28 +133,105 @@ class WalWriter:
         *,
         fsync: bool = True,
         on_append: Callable[[int, bool], None] | None = None,
+        on_sync: Callable[[int], None] | None = None,
     ):
         self.path = Path(path)
         self.fsync = fsync
         #: observability hook: called with (frame_bytes, fsynced) per append.
         self.on_append = on_append
+        #: observability hook: called with the number of frames made durable
+        #: by each fsync (the group-commit size; 1 for ungrouped appends).
+        self.on_sync = on_sync
+        #: frames written but not yet forced to media (only grows when
+        #: ``fsync=True`` appends are deferred into a group).
+        self._deferred = 0
         self._file = open(self.path, "ab")
 
-    def append(self, record: Any) -> int:
-        """Durably append one record; returns the frame size in bytes."""
+    def append(
+        self, record: Any, *, defer_sync: bool = False, lazy: bool = False
+    ) -> int:
+        """Durably append one record; returns the frame size in bytes.
+
+        With ``defer_sync=True`` the frame is written and flushed but the
+        fsync is left to the enclosing group window's :meth:`sync_deferred`.
+
+        With ``lazy=True`` the frame is written and flushed but demands no
+        fsync at all — not even at the group window's close. It becomes
+        durable with whichever fsync next touches the file (an fsync
+        always covers every byte written before it). Only for records
+        whose loss is recoverable from elsewhere: decide records are a
+        cache of a quorum-durable outcome, so a torn-off lazy tail merely
+        forces a catch-up, never loses an acknowledged command.
+        """
         frame = frame_record(codec.encode_payload(record, "binary"))
         self._file.write(frame)
         self._file.flush()
+        synced = False
+        if self.fsync and not lazy:
+            if defer_sync:
+                self._deferred += 1
+            else:
+                os.fsync(self._file.fileno())
+                synced = True
+                if self.on_sync is not None:
+                    self.on_sync(1)
+        if self.on_append is not None:
+            self.on_append(len(frame), synced)
+        return len(frame)
+
+    def append_many(self, records: list[Any] | tuple[Any, ...]) -> int:
+        """Append a batch of records with one write, one flush, one fsync.
+
+        Returns the total bytes written. The batch becomes durable
+        atomically from the caller's point of view: either the tail tear
+        hits inside it (recovery truncates there) or the whole suffix that
+        the single fsync covered survives.
+        """
+        if not records:
+            return 0
+        frames = [
+            frame_record(codec.encode_payload(record, "binary"))
+            for record in records
+        ]
+        blob = b"".join(frames)
+        self._file.write(blob)
+        self._file.flush()
         if self.fsync:
             os.fsync(self._file.fileno())
+            if self.on_sync is not None:
+                self.on_sync(len(frames))
         if self.on_append is not None:
-            self.on_append(len(frame), self.fsync)
-        return len(frame)
+            for frame in frames:
+                self.on_append(len(frame), self.fsync)
+        return len(blob)
+
+    def sync_deferred(self) -> int:
+        """Close a group-commit window: one fsync for every deferred frame.
+
+        Returns the number of frames made durable. A window in which no
+        append was deferred costs nothing — no flush, no fsync — so
+        wrapping every inbound network chunk in a group is free for
+        traffic that never touches the WAL.
+        """
+        if not self._deferred:
+            return 0
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        count = self._deferred
+        self._deferred = 0
+        if self.on_sync is not None:
+            self.on_sync(count)
+        return count
 
     def sync(self) -> None:
         """Force everything written so far to stable media."""
         self._file.flush()
         os.fsync(self._file.fileno())
+        if self._deferred:
+            count = self._deferred
+            self._deferred = 0
+            if self.on_sync is not None:
+                self.on_sync(count)
 
     def close(self) -> None:
         try:

@@ -13,7 +13,13 @@ from hypothesis import given, settings, strategies as st
 from repro.consensus import messages as m
 from repro.consensus.ballot import Ballot
 from repro.consensus.interface import Batch, InstanceMessage, Noop
-from repro.core.client import ClientReply, ClientRequest, Redirect
+from repro.core.client import (
+    ClientReply,
+    ClientRequest,
+    Redirect,
+    ReplyBatch,
+    RequestBatch,
+)
 from repro.core.command import ReconfigCommand, ReconfigRequest
 from repro.core.reconfig import (
     EpochAnnounce,
@@ -222,6 +228,19 @@ STRATEGIES: dict[type, st.SearchStrategy] = {
     Batch: batches,
     ClientRequest: st.builds(ClientRequest, commands, node_ids),
     ClientReply: st.builds(ClientReply, command_ids, values, epochs, slots),
+    RequestBatch: st.builds(
+        RequestBatch,
+        st.lists(commands, min_size=1, max_size=4).map(tuple),
+        node_ids,
+    ),
+    ReplyBatch: st.builds(
+        ReplyBatch,
+        st.lists(
+            st.builds(ClientReply, command_ids, values, epochs, slots),
+            min_size=1,
+            max_size=4,
+        ).map(tuple),
+    ),
     Redirect: st.builds(Redirect, command_ids, memberships, epochs),
     ReconfigCommand: reconfig_commands,
     ReconfigRequest: st.builds(ReconfigRequest, reconfig_commands, node_ids),
@@ -419,6 +438,86 @@ class TestFormatParity:
             assert codec.frame_format(body) == fmt
             sender, dest, decoded = codec.decode_frame_body(body)
             assert (sender, dest, decoded) == (NodeId("a"), NodeId("b"), payload)
+
+    @settings(max_examples=10, deadline=None)
+    @given(data=st.data())
+    def test_precoded_frame_is_byte_identical(self, cls, data):
+        """The broadcast fast path (encode once, frame per destination)
+        must produce exactly the bytes encode_frame would."""
+        payload = data.draw(STRATEGIES[cls])
+        for fmt in codec.WIRE_FORMATS:
+            payload_bytes = codec.encode_payload(payload, fmt)
+            for dest in ("b", "other-node"):
+                assert codec.encode_frame_precoded(
+                    NodeId("a"), NodeId(dest), payload_bytes, fmt
+                ) == codec.encode_frame(NodeId("a"), NodeId(dest), payload, fmt)
+
+
+class TestPayloadMemo:
+    """The identity memo that splices a batch's encoded bytes across the
+    several envelopes it rides per commit must never change the bytes."""
+
+    def _batch(self, n=12, key="k"):
+        return Batch(
+            tuple(
+                Command(CommandId(ClientId("c"), i), "set", (f"{key}{i}", i), 64)
+                for i in range(1, n + 1)
+            )
+        )
+
+    def _cold(self, payload, fmt="binary"):
+        codec._PAYLOAD_MEMO.clear()
+        encoded = codec.encode_payload(payload, fmt)
+        codec._PAYLOAD_MEMO.clear()
+        return encoded
+
+    def test_warm_encodes_are_byte_identical(self):
+        from repro.storage.records import WalAccept, WalDecide
+
+        batch = self._batch()
+        ballot = Ballot(2, NodeId("n1"))
+        envelopes = [
+            m.Accept(ballot, 5, batch),
+            m.Decide(5, batch),
+            WalAccept("i", 5, ballot, batch),
+            WalDecide("i", 5, batch),
+        ]
+        cold = [self._cold(e) for e in envelopes]
+        codec._PAYLOAD_MEMO.clear()
+        warm = [codec.encode_payload(e, "binary") for e in envelopes]
+        assert warm == cold
+        # The memo really was active for the later encodes.
+        assert Batch in codec._PAYLOAD_MEMO
+
+    def test_decoded_batch_reencodes_identically(self):
+        from repro.storage.records import WalAccept
+
+        batch = self._batch()
+        ballot = Ballot(2, NodeId("n1"))
+        wire = self._cold(m.Accept(ballot, 5, batch))
+        codec._PAYLOAD_MEMO.clear()
+        decoded = codec.decode_payload(wire)
+        # Decode memoized the batch's source bytes; the WAL record encode
+        # that follows on a real acceptor must splice, not diverge.
+        assert Batch in codec._PAYLOAD_MEMO
+        warm = codec.encode_payload(
+            WalAccept("i", 5, decoded.ballot, decoded.value), "binary"
+        )
+        assert warm == self._cold(WalAccept("i", 5, ballot, batch))
+
+    def test_memo_misses_on_different_object(self):
+        batch_a, batch_b = self._batch(key="a"), self._batch(key="b")
+        cold_b = self._cold(m.Decide(5, batch_b))
+        codec._PAYLOAD_MEMO.clear()
+        codec.encode_payload(m.Decide(5, batch_a), "binary")  # memoizes a
+        assert codec.encode_payload(m.Decide(5, batch_b), "binary") == cold_b
+
+    def test_json_format_unaffected(self):
+        batch = self._batch()
+        codec._PAYLOAD_MEMO.clear()
+        one = codec.encode_payload(m.Decide(5, batch), "json")
+        codec.encode_payload(m.Decide(5, batch), "binary")  # populate memo
+        assert codec.encode_payload(m.Decide(5, batch), "json") == one
 
 
 class TestWireFormats:

@@ -56,3 +56,20 @@ class TestLiveChaos:
         assert check_kv_linearizable(reloaded).ok
 
         assert elapsed < WALL_CLOCK_BUDGET, f"chaos scenario took {elapsed:.1f}s"
+
+    def test_batched_commit_path_is_linearizable(self, tmp_path):
+        """T14 acceptance: the batched, pipelined commit path survives the
+        canonical failure schedule — including the mid-load RECONFIGURE —
+        and the client-observed history still passes Wing–Gong. Batching
+        must demultiplex per-command replies correctly and must not let a
+        batch straddle the epoch cut."""
+        started = time.monotonic()
+        report = run_chaos_scenario(
+            replicas=3, seed=42, log_dir=tmp_path / "logs", batching=True
+        )
+        elapsed = time.monotonic() - started
+        assert report.ok, "\n".join(report.lines())
+        assert report.reconfigured
+        assert report.linearizable.ok
+        assert len(report.history.completed) > 50
+        assert elapsed < WALL_CLOCK_BUDGET, f"batched chaos took {elapsed:.1f}s"

@@ -28,7 +28,7 @@ import time
 
 import pytest
 
-from repro.core.client import ClientReply, ClientRequest
+from repro.core.client import ClientReply, ClientRequest, ReplyBatch, RequestBatch
 from repro.net import codec
 from repro.net.client import MIN_ATTEMPT_BUDGET, LiveClient
 from repro.net.cluster import LocalCluster, allocate_ports, free_port
@@ -76,16 +76,25 @@ class StubReplica:
                     buffer = buffer[4 + length :]
                     fmt = codec.frame_format(body)
                     sender, dest, payload = codec.decode_frame_body(body)
-                    if not isinstance(payload, ClientRequest):
+                    if isinstance(payload, ClientRequest):
+                        commands = (payload.command,)
+                    elif isinstance(payload, RequestBatch):
+                        commands = payload.commands
+                    else:
                         continue
                     if self.reply_delay > 0:
                         time.sleep(self.reply_delay)
-                    reply = ClientReply(payload.command.cid, "ok", 0, 0)
+                    acks = tuple(
+                        ClientReply(cmd.cid, "ok", 0, 0) for cmd in commands
+                    )
+                    out: ClientReply | ReplyBatch = (
+                        acks[0] if len(acks) == 1 else ReplyBatch(acks)
+                    )
                     try:
-                        conn.sendall(codec.encode_frame(dest, sender, reply, fmt))
+                        conn.sendall(codec.encode_frame(dest, sender, out, fmt))
                     except OSError:
                         return
-                    self.replied += 1
+                    self.replied += len(acks)
                 try:
                     chunk = conn.recv(65536)
                 except socket.timeout:
