@@ -1,0 +1,377 @@
+"""T15 read-path benchmark: ordered vs lease vs follower reads, live.
+
+Every cell launches a real 3-replica :class:`LocalCluster` with durable
+storage (fsync ON — the production configuration) and drives a 95/5
+read/write mix through a pipelined client. The headline pair holds the
+server at its *default* commit configuration (no batching — batching is
+an opt-in latency tradeoff) and varies only the read path:
+
+* **ordered** — ``--read-mode log``: every ``get`` is a full consensus
+  round: a Paxos slot, a WAL append, and its share of an fsync on a
+  quorum before the reply (the pre-lease baseline);
+* **lease** — ``--read-mode lease``: the leaseholding leader answers
+  reads from local state — no slot, no WAL, no peer traffic
+  (linearizable; see DESIGN's read-path safety argument).
+
+Two informational arms complete the picture:
+
+* **batched** — the same pair under the T14 batched commit path at a
+  1024-deep window. Batching amortizes ordered reads into shared slots,
+  closing most of the throughput gap — by buying it with batch-delay
+  and queueing latency (compare the p50 columns). Lease reads need
+  neither the concurrency nor the delay.
+* **follower fan-out** — ``--read-mode follower``: every caught-up
+  member answers reads locally within a staleness bound (bounded
+  staleness, NOT linearizable), one pinned client per replica. On this
+  1-CPU container clients and replicas time-share one core, so the cell
+  measures overhead, not scale-out; re-run on a many-core box for the
+  scale claim (same caveat as BENCH_shard.json).
+
+After each cell the replicas' ``#metrics`` endpoints are polled so the
+report shows *where* reads were served: ``smr.lease_reads`` /
+``smr.follower_reads`` against the ordered ``paxos.decided`` slots. A
+lease cell that silently fell back to the log path (fraction below 0.5)
+fails the run rather than reporting a meaningless ratio.
+
+Results land in ``BENCH_read.json``. Exit code is the gate: full runs
+require lease reads >= 5x the same-config ordered baseline at the 95/5
+mix; smoke runs (CI) require >= 3x.
+
+Run via ``repro bench read [--smoke]``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import random
+import threading
+import time
+from typing import Any
+
+from repro.metrics import Table, percentile, summarize_throughput
+
+#: read fraction of the workload mix (the ROADMAP's read-heavy regime).
+READ_RATIO = 0.95
+#: distinct keys touched by the mix (preloaded before measurement).
+KEYS = 256
+#: commit-path settings for the *batched* informational cells (the
+#: BENCH_commit winners). The headline cells run the serve defaults:
+#: no batching, unbounded engine window.
+BATCH_DELAY_MS = 2.0
+BATCH_MAX = 256
+ENGINE_WINDOW = 16
+#: follower cells refuse local reads after this much leader silence (ms).
+STALENESS_MS = 500.0
+#: lease cells run a 400ms lease under a 600ms suspicion floor: on one
+#: busy core the event loop can sit on heartbeat echoes for ~100ms, and
+#: a lease short enough to lapse in that gap silently degrades the cell
+#: to the log path (the local_read_fraction gate below catches that).
+#: Longer suspicion = slower failover; the chaos suite covers failover
+#: at the tight default timing, this bench covers steady-state reads.
+LEASE_MS = 400.0
+SUSPECT_MS = 600.0
+
+
+def _cells(smoke: bool, window_override: int | None) -> list[dict[str, Any]]:
+    """The sweep grid. Labels are stable: gates reference them by name."""
+
+    def cell(label: str, *, read_mode: str, batch: bool, fanout: bool,
+             window: int, ops: int, smoke_ops: int) -> dict[str, Any]:
+        return {
+            "label": label, "read_mode": read_mode, "batch": batch,
+            "fanout": fanout,
+            "window": window_override if window_override else window,
+            "ops": smoke_ops if smoke else ops,
+        }
+
+    grid = [
+        # The headline pair: serve-default commit path, identical config,
+        # only the read path differs.
+        cell("ordered-95r", read_mode="log", batch=False, fanout=False,
+             window=32, ops=1500, smoke_ops=300),
+        cell("lease-95r", read_mode="lease", batch=False, fanout=False,
+             window=32, ops=8000, smoke_ops=1200),
+        # Informational: the T14 batched commit path at a deep window.
+        cell("ordered-batched-95r", read_mode="log", batch=True,
+             fanout=False, window=1024, ops=8000, smoke_ops=0),
+        cell("lease-batched-95r", read_mode="lease", batch=True,
+             fanout=False, window=1024, ops=12000, smoke_ops=0),
+        # Informational: follower reads fanned out across all members.
+        cell("follower-95r-fanout", read_mode="follower", batch=False,
+             fanout=True, window=32, ops=6000, smoke_ops=0),
+    ]
+    return [c for c in grid if c["ops"] > 0]
+
+
+def _mixed_ops(
+    count: int, seed: int, offset: int = 0
+) -> list[tuple[str, tuple[Any, ...], int]]:
+    """A seeded 95/5 get/set mix over the preloaded keyspace."""
+    rng = random.Random(seed)
+    ops: list[tuple[str, tuple[Any, ...], int]] = []
+    for i in range(count):
+        key = f"key-{rng.randrange(KEYS)}"
+        if rng.random() < READ_RATIO:
+            ops.append(("get", (key,), 32))
+        else:
+            ops.append(("set", (key, offset + i), 64))
+    return ops
+
+
+def _run_cell(
+    cell: dict[str, Any], *, seed: int, wire: str | None, rounds: int = 1
+) -> dict[str, Any]:
+    """One configuration, best of ``rounds`` fresh-cluster runs."""
+    best: dict[str, Any] | None = None
+    for attempt in range(max(1, rounds)):
+        row = _run_cell_once(cell, seed=seed + attempt, wire=wire)
+        if best is None or row["ops_per_s"] > best["ops_per_s"]:
+            best = row
+    assert best is not None
+    return best
+
+
+def _run_cell_once(
+    cell: dict[str, Any], *, seed: int, wire: str | None
+) -> dict[str, Any]:
+    """One configuration: launch, preload, measure, poll metrics."""
+    from repro.net.client import LiveClient
+    from repro.net.cluster import LocalCluster
+    from repro.net.observe import poll_cluster
+
+    ops = cell["ops"]
+    with LocalCluster(
+        replicas=3, seed=seed, wire=wire,
+        durable=True, fsync=True,
+        batch_delay_ms=BATCH_DELAY_MS if cell["batch"] else 0.0,
+        batch_max=BATCH_MAX,
+        window=ENGINE_WINDOW if cell["batch"] else 0,
+        uvloop="auto",
+        read_mode=cell["read_mode"], lease_ms=LEASE_MS,
+        suspect_ms=SUSPECT_MS, staleness_ms=STALENESS_MS,
+    ) as cluster:
+        cluster.start()
+        with LiveClient(
+            "bench-warm", cluster.addresses, view=cluster.initial,
+            request_timeout=2.0, wire_format=wire,
+        ) as warm:
+            # Preload the keyspace (also settles the election and, in
+            # lease mode, lets the first heartbeat echoes land).
+            warm.submit_pipelined(
+                [("set", (f"key-{i}", 0), 64) for i in range(KEYS)],
+                window=256, deadline=60.0,
+            )
+            warm.submit_pipelined(
+                [("get", (f"key-{i % KEYS}",), 32) for i in range(64)],
+                window=64, deadline=30.0,
+            )
+        if cell["fanout"]:
+            elapsed, latencies = _fanout_run(cluster, cell, seed, wire)
+        else:
+            with LiveClient(
+                "bench", cluster.addresses, view=cluster.initial,
+                request_timeout=2.0, wire_format=wire,
+            ) as client:
+                workload = _mixed_ops(ops, seed)
+                start = time.perf_counter()
+                latencies = client.submit_pipelined(
+                    workload, window=cell["window"], deadline=180.0
+                )
+                elapsed = time.perf_counter() - start
+        books = {n: cluster.addresses[n] for n in cluster.initial}
+        fetched, _ = poll_cluster(books, wire_format=wire)
+
+    counters = {"smr.lease_reads": 0, "smr.follower_reads": 0,
+                "paxos.decided": 0, "wal.fsyncs": 0}
+    for snap in fetched.values():
+        for name in counters:
+            counters[name] += int(snap.snapshot.counters.get(name, 0))
+
+    reads = round(ops * READ_RATIO)
+    local_reads = counters["smr.lease_reads"] + counters["smr.follower_reads"]
+    ms = [lat * 1000.0 for lat in latencies]
+    throughput = summarize_throughput(ops, elapsed)
+    return {
+        **{k: cell[k]
+           for k in ("label", "read_mode", "batch", "fanout", "window", "ops")},
+        "elapsed_s": round(elapsed, 4),
+        "ops_per_s": round(throughput.ops_per_s, 1),
+        "read_p50_ms": round(percentile(ms, 50), 3),
+        "read_p99_ms": round(percentile(ms, 99), 3),
+        "lease_reads": counters["smr.lease_reads"],
+        "follower_reads": counters["smr.follower_reads"],
+        "paxos_slots": counters["paxos.decided"],
+        "wal_fsyncs": counters["wal.fsyncs"],
+        # Fraction of issued reads the fast path actually served; the
+        # preload/warmup also counts a few, so clamp at 1.0.
+        "local_read_fraction": round(min(1.0, local_reads / reads), 3)
+        if reads else 0.0,
+    }
+
+
+def _fanout_run(
+    cluster: Any, cell: dict[str, Any], seed: int, wire: str | None
+) -> tuple[float, list[float]]:
+    """Follower scale-out arm: one pinned client per replica, in threads.
+
+    Each client submits its own slice of the 95/5 mix against exactly one
+    replica (single-node view, so redirects cannot re-aim it): reads are
+    served locally wherever the replica is fresh; writes forward to the
+    leader through the ordinary proposal route. Aggregate throughput is
+    total ops over the slowest thread's wall clock.
+    """
+    from repro.net.client import LiveClient
+
+    nodes = list(cluster.initial)
+    per_node = cell["ops"] // len(nodes)
+    latencies: list[list[float]] = [[] for _ in nodes]
+    errors: list[BaseException] = []
+
+    def drive(i: int, node: str) -> None:
+        try:
+            with LiveClient(
+                f"bench-{node}", cluster.addresses, view=[node],
+                request_timeout=2.0, wire_format=wire,
+            ) as client:
+                workload = _mixed_ops(per_node, seed + i, offset=i * per_node)
+                latencies[i] = client.submit_pipelined(
+                    workload, window=cell["window"], deadline=180.0
+                )
+        except BaseException as exc:  # noqa: BLE001 - reported by the main thread
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=drive, args=(i, node), daemon=True)
+        for i, node in enumerate(nodes)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    cell["ops"] = per_node * len(nodes)  # integer-division truth
+    return elapsed, [lat for per in latencies for lat in per]
+
+
+def _render(results: dict[str, dict[str, Any]]) -> None:
+    table = Table(
+        "T15 live 3-replica read path at a 95/5 mix (fsync on)",
+        ["cell", "ops", "ops/s", "p50 ms", "p99 ms",
+         "local reads", "slots", "local frac"],
+    )
+    for row in results.values():
+        table.add_row(
+            row["label"], row["ops"], f"{row['ops_per_s']:.0f}",
+            f"{row['read_p50_ms']:.2f}", f"{row['read_p99_ms']:.2f}",
+            row["lease_reads"] + row["follower_reads"],
+            row["paxos_slots"], f"{row['local_read_fraction']:.2f}",
+        )
+    print(table.render())
+    print()
+
+
+def _ratios(results: dict[str, dict[str, Any]]) -> dict[str, float]:
+    """Headline ratios; 0.0 where a side of the comparison did not run."""
+
+    def ops(label: str) -> float:
+        row = results.get(label)
+        return row["ops_per_s"] if row else 0.0
+
+    ordered = ops("ordered-95r")
+    lease = ops("lease-95r")
+    ordered_batched = ops("ordered-batched-95r")
+    lease_batched = ops("lease-batched-95r")
+    follower = ops("follower-95r-fanout")
+    lease_row = results.get("lease-95r")
+    return {
+        "lease_vs_ordered": round(lease / ordered, 3) if ordered else 0.0,
+        "lease_vs_ordered_batched": (
+            round(lease_batched / ordered_batched, 3) if ordered_batched
+            else 0.0
+        ),
+        "follower_vs_ordered": round(follower / ordered, 3) if ordered else 0.0,
+        "ordered_ops_s": round(ordered, 1),
+        "lease_ops_s": round(lease, 1),
+        "lease_read_fraction": (
+            lease_row["local_read_fraction"] if lease_row else 0.0
+        ),
+    }
+
+
+def run_read_bench(
+    smoke: bool = False,
+    out: str = "BENCH_read.json",
+    seed: int = 42,
+    wire: str | None = None,
+    window: int | None = None,
+) -> int:
+    """Run the read-path sweep; returns a gate exit code."""
+    mode = "smoke" if smoke else "full"
+    cpus = os.cpu_count() or 1
+    print(f"T15 read-path benchmark ({mode}, seed={seed}, cpus={cpus})")
+    results: dict[str, dict[str, Any]] = {}
+    rounds = 2  # best-of-2: 1-CPU scheduling noise must not own the gate
+    for cell in _cells(smoke, window):
+        print(f"  cell {cell['label']}: {cell['ops']} ops at "
+              f"{READ_RATIO:.0%} reads, window {cell['window']}, "
+              f"best of {rounds} ...", flush=True)
+        results[cell["label"]] = _run_cell(
+            cell, seed=seed, wire=wire, rounds=rounds
+        )
+    _render(results)
+    ratios = _ratios(results)
+
+    report = {
+        "bench": "T15-read",
+        "mode": mode,
+        "seed": seed,
+        "cpus": cpus,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "wire": wire or "binary",
+        "read_ratio": READ_RATIO,
+        "keys": KEYS,
+        "staleness_ms": STALENESS_MS,
+        "batch_delay_ms": BATCH_DELAY_MS,
+        "batch_max": BATCH_MAX,
+        "engine_window": ENGINE_WINDOW,
+        "cells": results,
+        "ratios": ratios,
+    }
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {out}")
+    print(f"lease over ordered {ratios['lease_vs_ordered']:.2f}x "
+          f"({ratios['lease_ops_s']:.0f} vs {ratios['ordered_ops_s']:.0f} "
+          f"ops/s at the serve-default commit path; lease served "
+          f"{ratios['lease_read_fraction']:.0%} of reads locally); "
+          f"batched arms {ratios['lease_vs_ordered_batched']:.2f}x, "
+          f"follower fan-out {ratios['follower_vs_ordered']:.2f}x")
+    if cpus < 4 and "follower-95r-fanout" in results:
+        print(f"note: {cpus} cpu(s) — the follower fan-out cell "
+              "time-shares one core and measures overhead, not "
+              "scale-out; re-run on a many-core box for the scale claim")
+
+    failures: list[str] = []
+    if ratios["lease_read_fraction"] < 0.5:
+        failures.append(
+            f"lease cell served only {ratios['lease_read_fraction']:.0%} "
+            "of reads via the lease (floor 50%) — the ratio below "
+            "would be measuring the log path, not the lease"
+        )
+    floor = 3.0 if smoke else 5.0
+    if ratios["lease_vs_ordered"] < floor:
+        failures.append(
+            f"lease reads are only {ratios['lease_vs_ordered']:.2f}x the "
+            f"ordered baseline at the {READ_RATIO:.0%} read mix "
+            f"(floor {floor:g}x for a {mode} run)"
+        )
+    for failure in failures:
+        print(f"REGRESSION: {failure}")
+    return 1 if failures else 0

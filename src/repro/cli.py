@@ -213,14 +213,20 @@ def _cmd_serve(args: "argparse.Namespace") -> int:
         install_metrics_endpoint(
             transport, args.node, runtime.metrics, lambda: runtime.now
         )
+    suspect_min = args.suspect_timeout / 1000.0
     engine_params = PaxosParams(
         batch_delay=args.batch_delay / 1000.0,
         batch_max=args.batch_max,
         window=args.window,
+        lease_duration=args.lease_duration / 1000.0,
+        suspect_timeout_min=suspect_min,
+        suspect_timeout_max=2.0 * suspect_min,
     )
     params = ReconfigParams(
         engine_factory=MultiPaxosEngine.factory(engine_params),
         checkpoint_interval=args.checkpoint_interval,
+        read_mode=args.read_mode,
+        staleness_bound=args.staleness_bound / 1000.0,
     )
     app_factory = _app_factory(args.app)
     if args.shard_group:
@@ -270,9 +276,14 @@ def _cmd_serve(args: "argparse.Namespace") -> int:
         commit_note = (f", batch={args.batch_delay:g}ms"
                        f"/max{engine_params.batch_max}"
                        f", window={engine_params.window or 'unbounded'}")
+    read_note = ""
+    if args.read_mode != "log":
+        bound = (f"lease={args.lease_duration:g}ms" if args.read_mode == "lease"
+                 else f"staleness<={args.staleness_bound:g}ms")
+        read_note = f", reads={args.read_mode} ({bound})"
     print(f"[{args.node}] serving on {host}:{port} "
           f"(app={args.app}, member={'yes' if initial_config else 'standby'}"
-          f", loop={runtime.loop_impl}{commit_note}{shard_note})",
+          f", loop={runtime.loop_impl}{commit_note}{read_note}{shard_note})",
           flush=True)
     runtime.run(host, port)
     return 0
@@ -584,6 +595,7 @@ def _cmd_chaos(args: "argparse.Namespace") -> int:
         verbose=args.verbose,
         durable=args.durable,
         batching=args.batch,
+        read_mode=args.read_mode,
     )
     for line in report.lines():
         print(line)
@@ -670,6 +682,28 @@ def main(argv: list[str] | None = None) -> int:
                        help="proposer pipeline window: max Paxos instances "
                        "in flight concurrently; commands beyond it buffer "
                        "into the next batch (0 = unbounded)")
+    serve.add_argument("--read-mode", default="log",
+                       choices=["log", "lease", "follower"],
+                       help="read path for read-only ops: log orders them "
+                       "through consensus (default); lease serves them "
+                       "locally at the leaseholding leader (linearizable, "
+                       "no log round); follower serves them locally at any "
+                       "caught-up member within --staleness-bound (bounded "
+                       "staleness, NOT linearizable)")
+    serve.add_argument("--lease-duration", type=float, default=80.0,
+                       metavar="MS",
+                       help="read-lease validity per acknowledged "
+                       "heartbeat; must stay strictly below "
+                       "--suspect-timeout. 0 disables leases")
+    serve.add_argument("--suspect-timeout", type=float, default=100.0,
+                       metavar="MS",
+                       help="leader-failure suspicion floor; raising it "
+                       "admits longer leases at the cost of slower "
+                       "failover (the max stays at 2x the floor)")
+    serve.add_argument("--staleness-bound", type=float, default=500.0,
+                       metavar="MS",
+                       help="follower mode: max leader silence before a "
+                       "member refuses local reads")
     serve.add_argument("--uvloop", default="auto",
                        choices=["auto", "on", "off"],
                        help="event loop: auto uses uvloop when installed "
@@ -768,6 +802,11 @@ def main(argv: list[str] | None = None) -> int:
                        help="enable leader-side command batching + a "
                        "pipeline window on every replica, so the oracle "
                        "checks linearizability of the batched commit path")
+    chaos.add_argument("--read-mode", default="log",
+                       choices=["log", "lease", "follower"],
+                       help="run every replica with this read path, so the "
+                       "oracle checks e.g. lease reads while the schedule "
+                       "partitions the leaseholder mid-RECONFIGURE")
     chaos.add_argument("--verbose", action="store_true")
 
     metrics = sub.add_parser(
@@ -838,6 +877,21 @@ def main(argv: list[str] | None = None) -> int:
                         help="client pipelining window override for every "
                         "cell (default: per-cell values)")
     commit.add_argument("--wire", default=None, choices=["json", "binary"])
+    read_bench = bench_sub.add_parser(
+        "read", help="live 3-replica read-path sweep at a 95/5 mix: "
+        "ordered vs lease vs follower reads, fsync on; "
+        "writes BENCH_read.json"
+    )
+    read_bench.add_argument("--smoke", action="store_true",
+                            help="CI gate: fewer ops (<60s), lease "
+                            "throughput must stay >= 3x ordered")
+    read_bench.add_argument("--out", default="BENCH_read.json",
+                            help="output path (default: BENCH_read.json)")
+    read_bench.add_argument("--seed", type=int, default=42)
+    read_bench.add_argument("--window", type=int, default=None,
+                            help="client pipelining window override")
+    read_bench.add_argument("--wire", default=None,
+                            choices=["json", "binary"])
     shard_bench = bench_sub.add_parser(
         "shard", help="aggregate throughput vs group count + "
         "split-under-load verdict; writes BENCH_shard.json"
@@ -890,6 +944,13 @@ def main(argv: list[str] | None = None) -> int:
                 smoke=args.smoke, out=args.out, seed=args.seed,
                 baseline=args.baseline, wire=args.wire,
                 window=args.window,
+            )
+        if args.bench_target == "read":
+            from repro.bench.readbench import run_read_bench
+
+            return run_read_bench(
+                smoke=args.smoke, out=args.out, seed=args.seed,
+                wire=args.wire, window=args.window,
             )
         if args.bench_target == "shard":
             from repro.bench.shardbench import run_shard_bench

@@ -183,6 +183,17 @@ class SmrEngine(abc.ABC):
         """
         return False
 
+    def read_freshness_age(self, now: Time) -> float:
+        """Seconds since this member last heard from an active leader.
+
+        The bounded-staleness read mode uses this to decide whether a
+        local (non-linearizable) read is still inside the configured
+        staleness bound. Leaders are fresh by definition (0.0); engines
+        without a leader concept return +inf and follower reads fall
+        back to the ordered path.
+        """
+        return float("inf")
+
 
 class StaticSmrHost(Process):
     """A process hosting exactly one static SMR engine.

@@ -360,6 +360,12 @@ class MultiPaxosEngine(SmrEngine):
         self._m_elections.inc()
         self.leader_hint = self.transport.node
         self._monitor.stop()
+        # A fresh term must anchor its read lease on its *own* heartbeat
+        # echoes. _step_down clears these too, but relying on that alone
+        # leaves a trap: any future path that re-wins leadership without
+        # a full step-down in between would inherit echoes from the
+        # previous term and could report a lease it never earned.
+        self._hb_echoes.clear()
         self.transport.trace("leader-elected", ballot=str(self.ballot))
 
         # Merge quorum knowledge: per slot, the highest-ballot accepted value
@@ -654,7 +660,7 @@ class MultiPaxosEngine(SmrEngine):
         before ``t + lease_duration``, hence no write can commit that this
         leader has not itself ordered.
         """
-        if not self.is_leader or self.params.lease_duration <= 0:
+        if self.stopped or not self.is_leader or self.params.lease_duration <= 0:
             return False
         others_needed = self.quorum - 1
         if others_needed == 0:
@@ -664,6 +670,21 @@ class MultiPaxosEngine(SmrEngine):
             return False
         anchor = echoes[others_needed - 1]
         return now < anchor + self.params.lease_duration
+
+    def read_freshness_age(self, now: float) -> float:
+        """Seconds of silence from the leader (0.0 while leading).
+
+        Feeds the bounded-staleness follower-read mode: a member that
+        heard a heartbeat or accept recently serves local reads that are
+        at most that-silence-plus-a-bound stale. Stopped engines are
+        infinitely stale — a sealed epoch's state must not be read past
+        its hand-off.
+        """
+        if self.stopped:
+            return float("inf")
+        if self.is_leader:
+            return 0.0
+        return now - self._last_leader_contact
 
     def _request_catchup(self, target: NodeId) -> None:
         now = self.transport.now

@@ -154,12 +154,21 @@ class ReconfigParams:
     #: Only meaningful on replicas constructed with a ``storage`` store.
     checkpoint_interval: float = 0.0
     #: "log" orders every operation; "lease" serves read-only operations
-    #: locally at the current epoch's leaseholding leader (no log round).
+    #: locally at the current epoch's leaseholding leader (linearizable,
+    #: no log round); "follower" serves read-only operations locally at
+    #: ANY caught-up member within ``staleness_bound`` of leader contact
+    #: (bounded staleness, NOT linearizable — reads scale across members).
     read_mode: str = "log"
     #: operations eligible for the lease fast path (pure reads only).
     read_only_ops: frozenset = frozenset(
         {"get", "scan", "read", "balance", "holder", "total"}
     )
+    #: follower mode only: max seconds of leader silence before a member
+    #: refuses local reads and falls back to the ordered path. A served
+    #: read reflects every write the member had learned of when it last
+    #: heard from the leader, so the observable staleness is bounded by
+    #: roughly this plus one heartbeat interval.
+    staleness_bound: float = 0.5
 
 
 # Commit listener: (time, payload, epoch, virtual_index, reply_value).
@@ -232,9 +241,12 @@ class ReconfigurableReplica(Process):
         self._sealed_cids: set[CommandId] = set()
         self.committed: list[tuple[Any, EpochId, int]] = []
         self.lease_reads = 0
+        self.follower_reads = 0
 
         self.metrics = metrics_of(sim)
         self._commits_total = self.metrics.counter("smr.commits")
+        self._m_lease_reads = self.metrics.counter("smr.lease_reads")
+        self._m_follower_reads = self.metrics.counter("smr.follower_reads")
         self._orphans = self.metrics.counter("smr.orphans")
         self._exec_lag = self.metrics.histogram("smr.exec_lag")
         self._epoch_commits: dict[EpochId, Any] = {}
@@ -1041,12 +1053,12 @@ class ReconfigurableReplica(Process):
             value, epoch, vindex = cached
             self.send(reply_to, ClientReply(command.cid, value, epoch, vindex))
             return
-        if (
-            self.params.read_mode == "lease"
-            and command.op in self.params.read_only_ops
-            and self._serve_lease_read(command, reply_to)
-        ):
-            return
+        if command.op in self.params.read_only_ops:
+            mode = self.params.read_mode
+            if mode == "lease" and self._serve_lease_read(command, reply_to):
+                return
+            if mode == "follower" and self._serve_follower_read(command, reply_to):
+                return
         if self.is_retired:
             config = self.newest_config
             members = config.members if config is not None else Membership(frozenset())
@@ -1096,6 +1108,48 @@ class ReconfigurableReplica(Process):
         # *older* write would otherwise be misclassified as a duplicate).
         value = self.state.inner.apply(command)
         self.lease_reads += 1
+        self._m_lease_reads.inc()
+        self.send(
+            reply_to,
+            ClientReply(command.cid, value, runtime.config.epoch, -1),
+        )
+        return True
+
+    def _serve_follower_read(self, command: Command, reply_to: NodeId) -> bool:
+        """Serve a read locally under an explicit staleness bound.
+
+        Unlike the lease path this is NOT linearizable: any caught-up
+        member of the newest epoch answers from local state when it heard
+        from the leader within ``params.staleness_bound`` seconds
+        (leaders are always fresh). The reply reflects every write this
+        member has learned of — a write committed at the leader whose
+        ``Decide`` has not arrived here yet is exactly the staleness the
+        bound caps, at roughly ``staleness_bound + heartbeat_interval``.
+
+        The epoch-cut guards are shared with the lease path: a sealed
+        epoch or lagging execution refuses the read, so local reads never
+        observe state from an epoch that has handed off, and a drained
+        shard range fails ownership inside the state machine like any
+        other apply.
+        """
+        runtime = self.chain.get(self.newest_epoch)
+        if runtime is None or runtime.engine is None or not runtime.engine_started:
+            return False
+        if runtime.sealed:
+            return False
+        if runtime.engine.read_freshness_age(self.now) > self.params.staleness_bound:
+            return False
+        if self.exec_epoch != runtime.config.epoch:
+            return False
+        if not runtime.start_state_ready or runtime.executed != len(runtime.effective):
+            return False
+        if self.state is None:
+            return False
+        # Same dedup bypass as the lease path (reads mutate nothing and
+        # must not advance the client's dedup sequence).
+        value = self.state.inner.apply(command)
+        self.follower_reads += 1
+        self._m_follower_reads.inc()
         self.send(
             reply_to,
             ClientReply(command.cid, value, runtime.config.epoch, -1),

@@ -79,6 +79,10 @@ class LocalCluster:
         batch_max: int = 32,
         window: int = 0,
         uvloop: str | None = None,
+        read_mode: str | None = None,
+        lease_ms: float | None = None,
+        suspect_ms: float | None = None,
+        staleness_ms: float | None = None,
         extra_args: list[str] | None = None,
     ):
         if replicas < 1:
@@ -102,6 +106,13 @@ class LocalCluster:
         self.batch_max = batch_max
         self.window = window
         self.uvloop = uvloop
+        #: read-path tuning forwarded to every replica (see ``repro serve
+        #: --read-mode/--lease-duration/--staleness-bound``). None keeps
+        #: the serve defaults (ordered reads).
+        self.read_mode = read_mode
+        self.lease_ms = lease_ms
+        self.suspect_ms = suspect_ms
+        self.staleness_ms = staleness_ms
         #: extra ``repro serve`` flags appended to every replica's argv
         #: (e.g. the shard ownership flags a ShardedCluster passes down).
         self.extra_args = list(extra_args or [])
@@ -183,6 +194,14 @@ class LocalCluster:
             argv += ["--window", str(self.window)]
         if self.uvloop is not None:
             argv += ["--uvloop", self.uvloop]
+        if self.read_mode is not None:
+            argv += ["--read-mode", self.read_mode]
+        if self.lease_ms is not None:
+            argv += ["--lease-duration", str(self.lease_ms)]
+        if self.suspect_ms is not None:
+            argv += ["--suspect-timeout", str(self.suspect_ms)]
+        if self.staleness_ms is not None:
+            argv += ["--staleness-bound", str(self.staleness_ms)]
         if name in self.initial:
             argv += ["--initial", ",".join(self.initial)]
         if self.verbose:

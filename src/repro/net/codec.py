@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import json
 import struct
+import threading
 from dataclasses import fields, is_dataclass
 from typing import Any, Callable, Iterable
 
@@ -78,6 +79,7 @@ DEFAULT_WIRE_FORMAT = "binary"
 _REGISTRY: dict[str, type] = {}
 _BY_TYPE: dict[type, str] = {}
 _bootstrapped = False
+_BOOTSTRAP_LOCK = threading.Lock()
 
 #: types whose instances may be byte-memoized across codec calls. Only
 #: for deeply immutable values that fan out across several envelopes per
@@ -122,12 +124,25 @@ def registered_type(name: str) -> type:
 
 
 def _bootstrap() -> None:
-    """Register the whole protocol surface (lazy: avoids import cycles)."""
+    """Register the whole protocol surface (lazy: avoids import cycles).
+
+    Thread-safe: concurrent clients (the shard client's parallel group
+    submits, threaded map refreshes, bench fan-out arms) may race to the
+    first codec call. The done-flag must only be published *after* the
+    full registry is built — a reader that returns early on a half-built
+    table sees arbitrary types as unencodable.
+    """
     global _bootstrapped
     if _bootstrapped:
         return
-    _bootstrapped = True
+    with _BOOTSTRAP_LOCK:
+        if _bootstrapped:
+            return
+        _register_protocol()
+        _bootstrapped = True
 
+
+def _register_protocol() -> None:
     from repro import types as t
     from repro.consensus import messages as m
     from repro.consensus.ballot import Ballot

@@ -330,3 +330,36 @@ class TestHistoryRecorderCompat:
         assert len(history.operations) == 2
         assert history.operations[0].cid.client == ClientId("t")
         assert issubclass(ShardClientError, LiveClientError)
+
+
+class TestLeaseSentinelReplies:
+    def test_hint_in_lease_reply_still_patches_cache(self):
+        # A leaseholding leader replies to reads with the sentinel
+        # virtual_index == -1 (the read occupies no log position), and a
+        # drained range's lease read carries a WrongShard value. The
+        # smart client's hint-patching must key off the reply *value*,
+        # never the index, so the sentinel must not change routing.
+        world = World(make_map("g1", "g2"))
+
+        class LeaseFake(FakeGroupClient):
+            def submit(self, op, args, size=64, deadline=15.0):
+                reply = super().submit(op, args, size=size, deadline=deadline)
+                return ClientReply(reply.cid, reply.value, reply.epoch, -1)
+
+        client = ShardClient(
+            "t", shard_map=world.truth,
+            client_factory=lambda info: LeaseFake(world, info),
+        )
+        key = key_in(world.truth, "g1")
+        point = key_point(key)
+        world.data[key] = "fresh"
+        world.move(point - point % 8, min(point + 8, HASH_SPACE), "g2")
+
+        reply = client.submit("get", (key,))
+        assert reply.value == "fresh"
+        assert reply.virtual_index == -1
+        # One bounce off the stale owner, then the patched cache routes
+        # straight to the new owner — same as with ordered replies.
+        assert [g for g, _ in world.calls] == ["g1", "g2"]
+        assert client.map_version == 2
+        assert client.shard_map.group_for_key(key) == "g2"
