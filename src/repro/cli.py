@@ -227,6 +227,7 @@ def _cmd_serve(args: "argparse.Namespace") -> int:
         checkpoint_interval=args.checkpoint_interval,
         read_mode=args.read_mode,
         staleness_bound=args.staleness_bound / 1000.0,
+        handoff=args.handoff,
     )
     app_factory = _app_factory(args.app)
     if args.shard_group:
@@ -276,6 +277,7 @@ def _cmd_serve(args: "argparse.Namespace") -> int:
         commit_note = (f", batch={args.batch_delay:g}ms"
                        f"/max{engine_params.batch_max}"
                        f", window={engine_params.window or 'unbounded'}")
+    handoff_note = ", handoff=dirty" if args.handoff == "dirty" else ""
     read_note = ""
     if args.read_mode != "log":
         bound = (f"lease={args.lease_duration:g}ms" if args.read_mode == "lease"
@@ -283,7 +285,8 @@ def _cmd_serve(args: "argparse.Namespace") -> int:
         read_note = f", reads={args.read_mode} ({bound})"
     print(f"[{args.node}] serving on {host}:{port} "
           f"(app={args.app}, member={'yes' if initial_config else 'standby'}"
-          f", loop={runtime.loop_impl}{commit_note}{read_note}{shard_note})",
+          f", loop={runtime.loop_impl}{commit_note}{read_note}"
+          f"{handoff_note}{shard_note})",
           flush=True)
     runtime.run(host, port)
     return 0
@@ -622,6 +625,57 @@ def _cmd_chaos(args: "argparse.Namespace") -> int:
     return 0
 
 
+def _cmd_storm(args: "argparse.Namespace") -> int:
+    """One seeded reconfiguration storm against a live cluster, verified.
+
+    Runs the chosen storm plan (back-to-back RECONFIGUREs, rolling
+    replacement, or joins racing crashes) while a workload client records
+    a history, then feeds it through the linearizability checker. Exit
+    code 0 iff the history verifies and every planned RECONFIGURE was
+    acknowledged.
+    """
+    from repro.net.storm import build_storm_plan, run_storm_scenario
+
+    if args.plan_only:
+        plan = build_storm_plan(
+            args.scenario, replicas=args.replicas, seed=args.seed,
+            scale=args.scale,
+        )
+        print(plan.to_json())
+        return 0
+    report = run_storm_scenario(
+        args.scenario,
+        replicas=args.replicas,
+        seed=args.seed,
+        scale=args.scale,
+        handoff=args.handoff,
+        read_mode=args.read_mode,
+        wire=args.wire,
+        durable=args.durable,
+        verbose=args.verbose,
+    )
+    for line in report.lines():
+        print(line)
+    if args.history:
+        from repro.verify.histories import dump_jsonl
+
+        dump_jsonl(report.chaos.history, args.history)
+        print(f"history written to {args.history}")
+    if args.timeline:
+        report.write_timeline(args.timeline)
+        print(f"fault-aligned storm timeline written to {args.timeline}")
+    if args.smoke and report.chaos.elapsed >= 60.0:
+        print(f"FAIL: smoke storm run took {report.chaos.elapsed:.1f}s "
+              "(>= 60s)", file=sys.stderr)
+        return 1
+    if not report.ok:
+        print("FAIL: storm scenario did not verify", file=sys.stderr)
+        return 1
+    print(f"storm scenario verified: history linearizable under the "
+          f"{args.scenario} plan with {args.handoff} hand-off")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -704,6 +758,14 @@ def main(argv: list[str] | None = None) -> int:
                        metavar="MS",
                        help="follower mode: max leader silence before a "
                        "member refuses local reads")
+    serve.add_argument("--handoff", default="clean",
+                       choices=["clean", "dirty"],
+                       help="epoch hand-off mode: clean waits for the "
+                       "exact cut (orphan round trips, finished boundary "
+                       "snapshots); dirty overlaps the outgoing epoch's "
+                       "tail with the incoming one (seal-time re-proposal "
+                       "of the sealed engine's queue + dirty boundary "
+                       "serving to joiners)")
     serve.add_argument("--uvloop", default="auto",
                        choices=["auto", "on", "off"],
                        help="event loop: auto uses uvloop when installed "
@@ -809,6 +871,45 @@ def main(argv: list[str] | None = None) -> int:
                        "partitions the leaseholder mid-RECONFIGURE")
     chaos.add_argument("--verbose", action="store_true")
 
+    storm = sub.add_parser(
+        "storm",
+        help="seeded reconfiguration storm against a live cluster + "
+        "linearizability verdict (overlap | rolling | joincrash)",
+    )
+    storm.add_argument("scenario", nargs="?", default="overlap",
+                       choices=["overlap", "rolling", "joincrash"],
+                       help="which storm plan to run (default: overlap)")
+    storm.add_argument("--replicas", type=int, default=3)
+    storm.add_argument("--seed", type=int, default=42,
+                       help="drives the schedule, reconfigure timings, and "
+                       "workload; same seed = same plan, byte for byte")
+    storm.add_argument("--scale", type=float, default=1.0,
+                       help="stretch factor for the plan's offsets")
+    storm.add_argument("--handoff", default="clean",
+                       choices=["clean", "dirty"],
+                       help="epoch hand-off mode on every replica "
+                       "(default: clean cut)")
+    storm.add_argument("--read-mode", default=None,
+                       choices=["log", "lease", "follower"],
+                       help="run every replica with this read path during "
+                       "the storm (default: serve default, ordered reads)")
+    storm.add_argument("--wire", default=None, choices=["json", "binary"])
+    storm.add_argument("--smoke", action="store_true",
+                       help="CI gate: also fail if the run takes >= 60s")
+    storm.add_argument("--plan-only", action="store_true",
+                       help="print the seeded plan JSON and exit (no cluster)")
+    storm.add_argument("--timeline", default="STORM_timeline.json",
+                       metavar="PATH",
+                       help="write the fault-aligned storm timeline as JSON "
+                       "(injections + reconfigures + span phases on one "
+                       "timebase); empty string to skip")
+    storm.add_argument("--history", default=None, metavar="PATH",
+                       help="write the recorded client history as JSONL")
+    storm.add_argument("--durable", action="store_true",
+                       help="give every replica a --data-dir so crashed "
+                       "replicas recover from checkpoint+WAL")
+    storm.add_argument("--verbose", action="store_true")
+
     metrics = sub.add_parser(
         "metrics",
         help="poll a live cluster's #metrics endpoints and render snapshots",
@@ -892,6 +993,26 @@ def main(argv: list[str] | None = None) -> int:
                             help="client pipelining window override")
     read_bench.add_argument("--wire", default=None,
                             choices=["json", "binary"])
+    storm_bench = bench_sub.add_parser(
+        "storm", help="reconfiguration storms, clean vs dirty hand-off: "
+        "unavailability window + hand-off latency per cell; "
+        "writes BENCH_storm.json"
+    )
+    storm_bench.add_argument("--smoke", action="store_true",
+                             help="CI gate: joincrash cell only, dirty-cut "
+                             "unavailability must not exceed clean-cut "
+                             "beyond the noise floor")
+    storm_bench.add_argument("--out", default="BENCH_storm.json",
+                             help="output path (default: BENCH_storm.json)")
+    storm_bench.add_argument("--seed", type=int, default=42)
+    storm_bench.add_argument("--repeats", type=int, default=None,
+                             help="fresh-cluster runs per cell "
+                             "(default: 2 smoke, 3 full)")
+    storm_bench.add_argument("--timeline-dir", default=None, metavar="DIR",
+                             help="also write each run's fault-aligned "
+                             "timeline JSON into DIR (the CI artifact)")
+    storm_bench.add_argument("--wire", default=None,
+                             choices=["json", "binary"])
     shard_bench = bench_sub.add_parser(
         "shard", help="aggregate throughput vs group count + "
         "split-under-load verdict; writes BENCH_shard.json"
@@ -921,6 +1042,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_cluster(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "storm":
+        return _cmd_storm(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
     if args.command == "top":
@@ -951,6 +1074,14 @@ def main(argv: list[str] | None = None) -> int:
             return run_read_bench(
                 smoke=args.smoke, out=args.out, seed=args.seed,
                 wire=args.wire, window=args.window,
+            )
+        if args.bench_target == "storm":
+            from repro.bench.stormbench import run_storm_bench
+
+            return run_storm_bench(
+                smoke=args.smoke, out=args.out, seed=args.seed,
+                wire=args.wire, repeats=args.repeats,
+                timeline_dir=args.timeline_dir,
             )
         if args.bench_target == "shard":
             from repro.bench.shardbench import run_shard_bench

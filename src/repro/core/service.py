@@ -76,6 +76,7 @@ class ReplicatedService:
         batch_delay: float = 0.0,
         batch_max: int = 32,
         window: int = 0,
+        handoff: str = "clean",
     ):
         self.sim = sim
         self.app_factory = app_factory
@@ -92,7 +93,11 @@ class ReplicatedService:
                     )
                 )
             factory = engine_factory or MultiPaxosEngine.factory()
-            params = ReconfigParams(engine_factory=factory, pipeline_depth=pipeline_depth)
+            params = ReconfigParams(
+                engine_factory=factory,
+                pipeline_depth=pipeline_depth,
+                handoff=handoff,
+            )
         self.params = params
         self.commit_listener = commit_listener
         self.order_listener = order_listener

@@ -54,6 +54,13 @@ SPAN_RECOVERY = "recovery"
 #: when every phase has been recorded.
 RECONFIG_PHASES = ("decided", "cut", "transfer", "first-commit")
 
+#: phases that close a reconfiguration span. ``first-commit`` closes it
+#: normally; ``aborted`` closes a span the replica knows it will never
+#: finish (e.g. the execution frontier jumped over the epoch, so its
+#: first local commit cannot happen). A span carrying neither is *open*
+#: — in flight if the hand-off is live, dangling if it never ends.
+RECONFIG_TERMINAL_PHASES = ("first-commit", "aborted")
+
 
 class Counter:
     """Monotonically increasing integer metric."""
@@ -212,6 +219,43 @@ class MetricsRegistry:
             if kind is None or k == kind
         }
 
+    def open_spans(
+        self,
+        kind: str,
+        terminal: tuple[str, ...] = RECONFIG_TERMINAL_PHASES,
+    ) -> dict[str, dict[str, Time]]:
+        """Spans of ``kind`` with no terminal phase yet (copies).
+
+        An entry here is either a hand-off still in flight or — if it
+        stays here forever — a dangling span the emitter forgot to close.
+        """
+        return {
+            span_id: dict(phases)
+            for (k, span_id), phases in self._spans.items()
+            if k == kind and not any(phase in phases for phase in terminal)
+        }
+
+    def abandon_span(
+        self,
+        kind: str,
+        span_id: Any,
+        at: Time,
+        terminal: tuple[str, ...] = RECONFIG_TERMINAL_PHASES,
+    ) -> bool:
+        """Close an open span with an ``aborted`` phase.
+
+        Only touches spans that exist and are still open: a span that
+        never started is not invented, and one that already reached a
+        terminal phase is left alone (so an abort racing the normal
+        completion cannot relabel a finished hand-off). Returns whether
+        the span was marked.
+        """
+        phases = self._spans.get((kind, str(span_id)))
+        if phases is None or any(phase in phases for phase in terminal):
+            return False
+        self.span_event(kind, span_id, "aborted", at)
+        return True
+
     # -- snapshots ----------------------------------------------------------
 
     def on_snapshot(self, hook: Callable[["MetricsRegistry"], None]) -> None:
@@ -251,6 +295,11 @@ def metrics_of(runtime: Any) -> MetricsRegistry:
 def reconfig_span_complete(phases: dict[str, Time]) -> bool:
     """True when a reconfiguration span carries every phase."""
     return all(phase in phases for phase in RECONFIG_PHASES)
+
+
+def reconfig_span_closed(phases: dict[str, Time]) -> bool:
+    """True when a reconfiguration span reached a terminal phase."""
+    return any(phase in phases for phase in RECONFIG_TERMINAL_PHASES)
 
 
 def span_width(phases: dict[str, Time]) -> float | None:

@@ -468,6 +468,32 @@ class HistoryRecorder:
         return History(self.operations)
 
 
+def collect_aligned_spans(
+    addresses: dict, live: list[str], wire: str | None, controller_t0: float
+):
+    """Poll live replicas' #metrics and align reconfig spans to ``t0``.
+
+    Returns ``(fetched, aligned, errors)``: the raw snapshots, the
+    reconfiguration spans re-based onto the controller's monotonic
+    timebase (node -> epoch -> phase -> seconds from controller start),
+    and any fetch errors. Shared by the chaos and storm drivers so both
+    produce the same fault-aligned timeline shape.
+    """
+    fetched, errors = poll_cluster(addresses, live, wire_format=wire)
+    aligned: dict[str, dict[str, dict[str, float]]] = {}
+    for node, snap in fetched.items():
+        node_spans = reconfig_spans(snap.snapshot)
+        if node_spans:
+            aligned[node] = {
+                epoch: {
+                    phase: snap.local_time(at) - controller_t0
+                    for phase, at in phases.items()
+                }
+                for epoch, phases in node_spans.items()
+            }
+    return fetched, aligned, errors
+
+
 def canonical_schedule(
     leader: str, others: Iterable[str], joiner: str, *, seed: int = 42,
     scale: float = 1.0,
@@ -747,20 +773,9 @@ def run_chaos_scenario(
         # hand-off timeline ISSUE 4 asks for.
         controller_t0 = controller.t0 if controller.t0 is not None else started
         live = [name for name, proc in cluster.procs.items() if proc.poll() is None]
-        fetched, fetch_errors = poll_cluster(
-            cluster.addresses, live, wire_format=wire
+        fetched, aligned_spans, fetch_errors = collect_aligned_spans(
+            cluster.addresses, live, wire, controller_t0
         )
-        aligned_spans: dict[str, dict[str, dict[str, float]]] = {}
-        for node, snap in fetched.items():
-            node_spans = reconfig_spans(snap.snapshot)
-            if node_spans:
-                aligned_spans[node] = {
-                    epoch: {
-                        phase: snap.local_time(at) - controller_t0
-                        for phase, at in phases.items()
-                    }
-                    for epoch, phases in node_spans.items()
-                }
         recovery: dict[str, dict[str, Any]] = {}
         if durable:
             for node, snap in fetched.items():

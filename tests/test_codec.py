@@ -28,6 +28,7 @@ from repro.core.reconfig import (
     ObserverUpdate,
 )
 from repro.core.state_transfer import (
+    DirtySnapshotReply,
     SnapshotChunkReply,
     SnapshotChunkRequest,
     SnapshotReply,
@@ -255,6 +256,9 @@ STRATEGIES: dict[type, st.SearchStrategy] = {
     SnapshotRequest: st.builds(SnapshotRequest, epochs),
     SnapshotReply: st.builds(SnapshotReply, epochs, values, sizes),
     SnapshotUnavailable: st.builds(SnapshotUnavailable, epochs),
+    DirtySnapshotReply: st.builds(
+        DirtySnapshotReply, epochs, epochs, values, sizes, observer_epochs
+    ),
     SnapshotChunkRequest: st.builds(SnapshotChunkRequest, epochs, slots),
     SnapshotChunkReply: st.builds(
         SnapshotChunkReply, epochs, slots, slots, values, sizes

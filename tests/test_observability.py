@@ -23,10 +23,12 @@ from tests.conftest import run_kv_service
 from repro.errors import ConfigurationError
 from repro.metrics.registry import (
     RECONFIG_PHASES,
+    RECONFIG_TERMINAL_PHASES,
     SPAN_RECONFIG,
     Histogram,
     MetricsRegistry,
     metrics_of,
+    reconfig_span_closed,
     reconfig_span_complete,
     span_width,
 )
@@ -147,6 +149,59 @@ class TestSpans:
             registry.span_event("k", str(i), "p", float(i))
         assert len(registry.events) == 3
         assert [e.span_id for e in registry.events] == ["7", "8", "9"]
+
+
+class TestAbandonedSpans:
+    def test_open_spans_excludes_terminal_phases(self):
+        registry = MetricsRegistry()
+        registry.span_event(SPAN_RECONFIG, "1", "decided", 1.0)
+        registry.span_event(SPAN_RECONFIG, "1", "first-commit", 2.0)
+        registry.span_event(SPAN_RECONFIG, "2", "decided", 3.0)
+        registry.span_event(SPAN_RECONFIG, "2", "transfer", 3.5)
+        open_spans = registry.open_spans(SPAN_RECONFIG)
+        assert list(open_spans) == ["2"]
+        # Copies, not views of the registry's internals.
+        open_spans["2"]["decided"] = 99.0
+        assert registry.spans(SPAN_RECONFIG)["reconfig/2"]["decided"] == 3.0
+
+    def test_abandon_closes_a_mid_transfer_span(self):
+        # A reconfiguration aborted mid-transfer (the boundary jump in
+        # _adopt_boundary_if_ahead) must not leave a dangling open span.
+        registry = MetricsRegistry()
+        registry.span_event(SPAN_RECONFIG, "2", "decided", 1.0)
+        registry.span_event(SPAN_RECONFIG, "2", "cut", 1.1)
+        assert registry.abandon_span(SPAN_RECONFIG, "2", 4.0)
+        phases = registry.spans(SPAN_RECONFIG)["reconfig/2"]
+        assert phases["aborted"] == 4.0
+        assert reconfig_span_closed(phases)
+        assert not reconfig_span_complete(phases)
+        assert registry.open_spans(SPAN_RECONFIG) == {}
+
+    def test_abandon_refuses_completed_spans(self):
+        registry = MetricsRegistry()
+        for i, phase in enumerate(RECONFIG_PHASES):
+            registry.span_event(SPAN_RECONFIG, "1", phase, float(i))
+        assert not registry.abandon_span(SPAN_RECONFIG, "1", 9.0)
+        assert "aborted" not in registry.spans(SPAN_RECONFIG)["reconfig/1"]
+
+    def test_abandon_refuses_unknown_spans(self):
+        registry = MetricsRegistry()
+        assert not registry.abandon_span(SPAN_RECONFIG, "7", 1.0)
+        assert registry.spans(SPAN_RECONFIG) == {}
+
+    def test_abandon_is_idempotent(self):
+        registry = MetricsRegistry()
+        registry.span_event(SPAN_RECONFIG, "3", "decided", 1.0)
+        assert registry.abandon_span(SPAN_RECONFIG, "3", 2.0)
+        assert not registry.abandon_span(SPAN_RECONFIG, "3", 5.0)
+        assert registry.spans(SPAN_RECONFIG)["reconfig/3"]["aborted"] == 2.0
+
+    def test_terminal_phase_constants_agree(self):
+        assert "first-commit" in RECONFIG_TERMINAL_PHASES
+        assert "aborted" in RECONFIG_TERMINAL_PHASES
+        assert reconfig_span_closed({"first-commit": 1.0})
+        assert reconfig_span_closed({"aborted": 1.0})
+        assert not reconfig_span_closed({"decided": 1.0, "transfer": 2.0})
 
 
 class TestMetricsOf:
@@ -374,3 +429,67 @@ class TestSimInstrumentation:
         # ...but commits in epoch 0 are still counted.
         snap = sim.metrics.snapshot()
         assert snap["counters"].get(f"{EPOCH_COMMITS_PREFIX}0", 0) > 0
+
+    def test_boundary_jump_aborts_skipped_spans(self):
+        """A hand-off abandoned mid-transfer closes as aborted, not open.
+
+        Reruns the skipped-epoch scenario (member of epochs 1 and 3 but
+        not 2, large state so the epoch-1 transfer is still in flight
+        when the membership moves on) with a private registry on the
+        bouncing replica: in the sim all replicas share ``sim.metrics``
+        where another member's first-commit (first-wins) would mask the
+        abort this test exists to observe. Live replicas each own their
+        registry, so the private one mirrors production.
+        """
+        from repro.apps.kvstore import KvStateMachine
+        from repro.core.client import ClientParams
+        from repro.core.service import ReplicatedService
+        from repro.sim.runner import Simulator
+        from repro.types import node_id
+
+        sim = Simulator(seed=901)
+
+        def app():
+            kv = KvStateMachine()
+            kv.preload(30_000)
+            return kv
+
+        sim.network.latency.bandwidth = 3_000_000.0
+        service = ReplicatedService(sim, ["n1", "n2", "n3"], app)
+        budget = [120]
+        rng = sim.rng.fork("abort-client")
+
+        def ops():
+            if budget[0] <= 0:
+                return None
+            budget[0] -= 1
+            return ("set", (f"k{rng.randint(0, 4)}", budget[0]), 64)
+
+        client = service.make_client(
+            "c1", ops, ClientParams(start_delay=0.2, request_timeout=0.4)
+        )
+        service.reconfigure_at(0.40, ["n1", "n2", "n9"])
+        service.reconfigure_at(0.55, ["n1", "n2", "n3"])
+        service.reconfigure_at(0.70, ["n1", "n2", "n9"])
+        spawned = sim.run_until(
+            lambda: node_id("n9") in service.replicas, timeout=10.0
+        )
+        assert spawned
+        bouncer = service.replicas[node_id("n9")]
+        bouncer.metrics = MetricsRegistry()
+        done = sim.run_until(lambda: client.finished, timeout=60.0)
+        assert done
+        sim.run(until=sim.now + 4.0)
+
+        spans = bouncer.metrics.spans(SPAN_RECONFIG)
+        aborted = [
+            span_id for span_id, phases in spans.items()
+            if "aborted" in phases
+        ]
+        assert aborted, f"no aborted span despite the boundary jump: {spans}"
+        # Every span on the bouncer is closed one way or the other — a
+        # dangling open hand-off span is exactly the bug this guards.
+        for span_id, phases in spans.items():
+            assert reconfig_span_closed(phases), (span_id, phases)
+        # The bouncer still ended up serving the final epoch.
+        assert bouncer.exec_epoch == 3
