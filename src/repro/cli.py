@@ -116,12 +116,14 @@ def _app_factory(name: str):
     from repro.apps.counter import CounterStateMachine
     from repro.apps.kvstore import KvStateMachine
     from repro.apps.lockservice import LockServiceStateMachine
+    from repro.shard.metadir import MetaDirStateMachine
 
     apps = {
         "kv": KvStateMachine,
         "counter": CounterStateMachine,
         "bank": BankStateMachine,
         "lock": LockServiceStateMachine,
+        "metadir": MetaDirStateMachine,
     }
     factory = apps.get(name)
     if factory is None:
@@ -222,12 +224,23 @@ def _cmd_serve(args: "argparse.Namespace") -> int:
         suspect_timeout_min=suspect_min,
         suspect_timeout_max=2.0 * suspect_min,
     )
+    params_kwargs = {}
+    if args.app == "metadir":
+        from repro.shard.metadir import METADIR_READ_OPS
+
+        # Director reads (map/intent/history) ride the lease fast path
+        # when the metadir group is served with --read-mode.
+        params_kwargs["read_only_ops"] = (
+            ReconfigParams.__dataclass_fields__["read_only_ops"].default
+            | METADIR_READ_OPS
+        )
     params = ReconfigParams(
         engine_factory=MultiPaxosEngine.factory(engine_params),
         checkpoint_interval=args.checkpoint_interval,
         read_mode=args.read_mode,
         staleness_bound=args.staleness_bound / 1000.0,
         handoff=args.handoff,
+        **params_kwargs,
     )
     app_factory = _app_factory(args.app)
     if args.shard_group:
@@ -258,6 +271,29 @@ def _cmd_serve(args: "argparse.Namespace") -> int:
         initial_config=initial_config,
         storage=storage,
     )
+    if args.app == "metadir":
+        from repro.shard.metadir import (
+            IntentDriver,
+            MetaDirStateMachine,
+            install_director_endpoint,
+        )
+
+        def _metadir_machine():
+            inner = getattr(replica.state, "inner", None)
+            return inner if isinstance(inner, MetaDirStateMachine) else None
+
+        install_director_endpoint(transport, args.node, _metadir_machine)
+        if args.metadir_driver:
+            driver = IntentDriver(
+                args.node,
+                replica,
+                addresses,
+                wire_format=args.wire,
+                poll=args.metadir_poll / 1000.0,
+                hold=args.metadir_hold / 1000.0,
+                takeover=args.metadir_takeover / 1000.0,
+            )
+            driver.start()
     if storage is not None:
         stat = storage.status()
         boot = "recovered" if stat["recovered"] else "fresh"
@@ -363,6 +399,7 @@ def _cmd_shard_cluster(args: "argparse.Namespace") -> int:
         seed=args.seed,
         wire=args.wire,
         verbose=args.verbose,
+        director_replicas=args.director_replicas,
     )
     total = args.groups + args.spare_groups
     print(f"starting {total} groups x {args.replicas_per_group} replicas "
@@ -371,8 +408,17 @@ def _cmd_shard_cluster(args: "argparse.Namespace") -> int:
     with cluster:
         cluster.start()
         shard_map = cluster.shard_map
-        print(f"director on {cluster.director_address()[0]}:"
-              f"{cluster.director_address()[1]}; map v{shard_map.version}:")
+        if args.director_replicas >= 1:
+            book = cluster.director_addresses()
+            endpoints = ", ".join(
+                f"{name}@{host}:{port}"
+                for name, (host, port) in sorted(book.items())
+            )
+            print(f"replicated director ({len(book)} replicas: {endpoints}); "
+                  f"map v{shard_map.version}:")
+        else:
+            print(f"director on {cluster.director_address()[0]}:"
+                  f"{cluster.director_address()[1]}; map v{shard_map.version}:")
         for assignment in shard_map.assignments:
             print(f"  {assignment.range} -> {assignment.group}")
         keys = [f"key-{i:04d}" for i in range(args.ops)]
@@ -780,6 +826,24 @@ def main(argv: list[str] | None = None) -> int:
                        "(empty = a spare group owning nothing)")
     serve.add_argument("--shard-version", type=int, default=1,
                        help="shard-map version the boot ownership is from")
+    serve.add_argument("--metadir-driver", action="store_true",
+                       help="run the intent driver (metadir app only): "
+                       "rolls pending shard-admin intents forward against "
+                       "the data groups")
+    serve.add_argument("--metadir-hold", type=float, default=0.0,
+                       metavar="MS",
+                       help="driver test hook: pause between the retire "
+                       "step and the install submit (widens the "
+                       "killed-between-steps window the failover tests "
+                       "aim at; 0 = no pause)")
+    serve.add_argument("--metadir-poll", type=float, default=50.0,
+                       metavar="MS",
+                       help="driver poll period for pending intents")
+    serve.add_argument("--metadir-takeover", type=float, default=1500.0,
+                       metavar="MS",
+                       help="a non-leader driver rolls an intent forward "
+                       "after it has been pending this long (dead-leader "
+                       "takeover bound)")
 
     cluster = sub.add_parser(
         "cluster", help="launch a live localhost cluster and drive it"
@@ -815,6 +879,10 @@ def main(argv: list[str] | None = None) -> int:
                                "verify the keyspace survives the cutover")
     shard_cluster.add_argument("--no-metrics", action="store_true",
                                help="skip the per-group metrics summary")
+    shard_cluster.add_argument("--director-replicas", type=int, default=0,
+                               help="replicate the director on its own "
+                               "metadir group of this many replicas "
+                               "(0 = classic in-process director); try 3")
     shard_cluster.add_argument("--seed", type=int, default=42)
     shard_cluster.add_argument("--wire", default=None,
                                choices=["json", "binary"])
@@ -874,11 +942,17 @@ def main(argv: list[str] | None = None) -> int:
     storm = sub.add_parser(
         "storm",
         help="seeded reconfiguration storm against a live cluster + "
-        "linearizability verdict (overlap | rolling | joincrash)",
+        "linearizability verdict (overlap | rolling | joincrash | "
+        "shard | director)",
     )
     storm.add_argument("scenario", nargs="?", default="overlap",
-                       choices=["overlap", "rolling", "joincrash"],
-                       help="which storm plan to run (default: overlap)")
+                       choices=["overlap", "rolling", "joincrash",
+                                "shard", "director"],
+                       help="which storm plan to run (default: overlap); "
+                       "'director' SIGKILLs the replicated shard "
+                       "director's claiming replica mid-move, 'shard' "
+                       "races per-group membership churn against a "
+                       "concurrent range move")
     storm.add_argument("--replicas", type=int, default=3)
     storm.add_argument("--seed", type=int, default=42,
                        help="drives the schedule, reconfigure timings, and "

@@ -404,6 +404,7 @@ class ReconfigurableReplica(Process):
             self._open_epoch(eo.config, prev_members=eo.prev_members)
         self.metrics.span_event(SPAN_RECOVERY, self.node, "replayed", self.now)
         self._advance_execution()
+        self._replay_dirty_overlaps(rec.dirty_overlaps)
         self.metrics.span_event(SPAN_RECOVERY, self.node, "rejoined", self.now)
         self.trace(
             "recovered",
@@ -414,6 +415,25 @@ class ReconfigurableReplica(Process):
             torn_bytes=rec.torn_bytes,
         )
         return True
+
+    def _replay_dirty_overlaps(self, records: list[Any]) -> None:
+        """Re-propose recovered dirty hand-off tails (satellite of the
+        dirty cut): a tail whose re-proposals never reached an acceptor
+        before the crash exists nowhere but its WAL record, so it rides
+        the ordinary orphan path again. Tails that *did* decide are
+        screened out by the reply cache / apply-time dedup — a replay is
+        at worst a no-op proposal.
+        """
+        for record in records:
+            for payload in record.payloads:
+                self.dirty_overlaps += 1
+                self._m_dirty_overlaps.inc()
+                self._repropose_orphan(payload)
+            self.trace(
+                "dirty-overlap-replay",
+                epoch=record.epoch,
+                payloads=len(record.payloads),
+            )
 
     # ------------------------------------------------------------------
     # Epoch chain management
@@ -578,6 +598,27 @@ class ReconfigurableReplica(Process):
         tail = list(getattr(engine, "awaiting", {}).values())
         if not tail:
             return
+        if self.storage is not None:
+            # Durable before the re-proposals can reach a socket: the
+            # record is the only trace of the tail until some engine
+            # accepts it, and a SIGKILL in that gap must not lose it.
+            # The sealing command itself is excluded: it already took
+            # effect (that is what sealed us), and _sealed_cids — which
+            # screens it out of the live re-propose below — is not
+            # rebuilt by recovery, so replaying it would cut a redundant
+            # extra epoch.
+            durable_tail = [
+                p
+                for p in tail
+                if not (
+                    isinstance(p, ReconfigCommand)
+                    and p.cid in self._sealed_cids
+                )
+            ]
+            if durable_tail:
+                self.storage.log_dirty_overlap(
+                    runtime.config.epoch, durable_tail
+                )
         for payload in tail:
             self.dirty_overlaps += 1
             self._m_dirty_overlaps.inc()

@@ -228,6 +228,7 @@ def _register_protocol() -> None:
         sr.WalAccept,
         sr.WalDecide,
         sr.WalEpochOpen,
+        sr.WalDirtyOverlap,
         sr.CheckpointRecord,
     )
     for cls in protocol:

@@ -62,6 +62,14 @@ from repro.verify.linearizability import (
 #: the scenario family; see the module docstring.
 STORM_SCENARIOS = ("overlap", "rolling", "joincrash")
 
+#: sharded cells living in :mod:`repro.shard.storm` — director failover
+#: mid-move and the membership-churn-vs-range-move race. Dispatched from
+#: :func:`run_storm_scenario` / :func:`build_storm_plan` so the CLI and
+#: the storm bench treat the whole family uniformly; kept out of
+#: ``STORM_SCENARIOS`` because these run a full sharded cluster, not the
+#: single-group topology the data-plane plans assume.
+SHARD_STORM_SCENARIOS = ("shard", "director")
+
 
 @dataclass(frozen=True, slots=True)
 class ReconfigStep:
@@ -131,9 +139,16 @@ def build_storm_plan(
     :func:`~repro.net.chaos.canonical_schedule` (same seed -> same plan);
     ``scale`` stretches the whole storm without changing its structure.
     """
+    if scenario in SHARD_STORM_SCENARIOS:
+        from repro.shard.storm import build_shard_storm_plan
+
+        return build_shard_storm_plan(
+            scenario, replicas=replicas, seed=seed, scale=scale
+        )
     if scenario not in STORM_SCENARIOS:
         raise ValueError(
-            f"unknown storm scenario {scenario!r}; pick from {STORM_SCENARIOS}"
+            f"unknown storm scenario {scenario!r}; pick from "
+            f"{STORM_SCENARIOS + SHARD_STORM_SCENARIOS}"
         )
     rng = random.Random(seed)
     initial = tuple(f"n{i + 1}" for i in range(replicas))
@@ -490,7 +505,29 @@ def run_storm_scenario(
     reconfigure steps run on their own schedule concurrently with the
     workload, and the report carries the unavailability window and
     cluster-level hand-off latency for the clean/dirty comparison.
+
+    The sharded cells (``shard``, ``director``) are dispatched to
+    :func:`repro.shard.storm.run_shard_storm_scenario`, which returns
+    the same report type over a sharded-cluster run.
     """
+    if scenario in SHARD_STORM_SCENARIOS:
+        from repro.shard.storm import run_shard_storm_scenario
+
+        return run_shard_storm_scenario(
+            scenario,
+            seed=seed,
+            handoff=handoff,
+            replicas=replicas,
+            wire=wire,
+            log_dir=log_dir,
+            keys=keys,
+            op_interval=op_interval,
+            request_timeout=request_timeout,
+            scale=scale,
+            read_mode=read_mode,
+            durable=durable,
+            verbose=verbose,
+        )
     from repro.net.cluster import LocalCluster
 
     plan = build_storm_plan(scenario, replicas=replicas, seed=seed, scale=scale)

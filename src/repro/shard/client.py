@@ -20,6 +20,7 @@ races against in-flight cutovers convergent: versions only move forward.
 
 from __future__ import annotations
 
+import random
 import socket
 import threading
 import time
@@ -36,6 +37,14 @@ from repro.types import ClientId, CommandId, NodeId
 #: target not yet installed, director not yet swapped).
 REDIRECT_BACKOFF = 0.05
 
+#: map-fetch retry backoff: base of the exponential ramp and its cap.
+#: Same discipline as LiveClient's request loop — a director that is
+#: briefly down (restarting, failing over) costs a few retries, not an
+#: immediate error bubbled into a request that the cached map could
+#: have served.
+MAP_RETRY_BASE = 0.05
+MAP_RETRY_CAP = 0.4
+
 
 class ShardClientError(LiveClientError):
     """A sharded request could not be completed (deadline or redirect loop)."""
@@ -48,8 +57,51 @@ def fetch_shard_map(
     seq: int = 1,
     timeout: float = 2.0,
     wire_format: str | None = None,
+    attempts: int = 3,
+    rng: random.Random | None = None,
 ) -> ShardMap:
-    """Fetch the authoritative map from a director over one raw socket."""
+    """Fetch the authoritative map, retrying with jittered backoff.
+
+    ``timeout`` bounds the whole call; each attempt gets an equal slice
+    of it and failures back off exponentially (with jitter, so a fleet
+    of clients re-fetching after a director restart does not stampede in
+    lockstep).
+    """
+    rng = rng if rng is not None else random.Random()
+    give_up_at = time.monotonic() + timeout
+    per_attempt = max(0.1, timeout / max(1, attempts))
+    last: Exception | None = None
+    for attempt in range(max(1, attempts)):
+        remaining = give_up_at - time.monotonic()
+        if remaining <= 0:
+            break
+        try:
+            return _fetch_map(
+                address, sender=sender, seq=seq,
+                timeout=min(per_attempt, remaining),
+                wire_format=wire_format,
+            )
+        except ShardClientError as exc:
+            last = exc
+            pause = min(MAP_RETRY_CAP, MAP_RETRY_BASE * (2 ** attempt))
+            pause *= 0.5 + rng.random()  # jitter in [0.5x, 1.5x)
+            if time.monotonic() + pause >= give_up_at:
+                break
+            time.sleep(pause)
+    raise ShardClientError(
+        f"shard map fetch from {address} failed after retries: {last}"
+    ) from last
+
+
+def _fetch_map(
+    address: tuple[str, int],
+    *,
+    sender: str = "shard-cli",
+    seq: int = 1,
+    timeout: float = 2.0,
+    wire_format: str | None = None,
+) -> ShardMap:
+    """One raw-socket map fetch from one director endpoint (no retry)."""
     cid = CommandId(ClientId(sender), seq)
     fmt = codec.DEFAULT_WIRE_FORMAT if wire_format is None else wire_format
     try:
@@ -99,12 +151,13 @@ class ShardClient:
         self,
         name: str,
         *,
-        director: tuple[str, int] | None = None,
+        director: tuple[str, int] | list[tuple[str, int]] | None = None,
         shard_map: ShardMap | None = None,
         request_timeout: float = 1.0,
         wire_format: str | None = None,
         max_redirects: int = 12,
         client_factory: Callable[[GroupInfo], Any] | None = None,
+        seed: int | None = None,
     ):
         if shard_map is None and director is None:
             raise ShardError("need a director address or an initial shard map")
@@ -114,7 +167,19 @@ class ShardClient:
         #: dedup table sees one monotone sequence.
         self.client = ClientId(self.name)
         self.seq = 0
-        self.director = director
+        #: one or more director endpoints. With a replicated director
+        #: every metadir replica answers map lookups, so a fetch fails
+        #: over across them (rotated so a dead replica costs one attempt,
+        #: not the whole refresh).
+        self.directors: list[tuple[str, int]] = (
+            [] if director is None
+            else [director] if isinstance(director, tuple)
+            else list(director)
+        )
+        self.director = self.directors[0] if self.directors else None
+        self._rng = random.Random(
+            seed if seed is not None else hash(self.name) & 0xFFFFFFFF
+        )
         self.request_timeout = request_timeout
         self.wire_format = wire_format
         self.max_redirects = max_redirects
@@ -154,22 +219,52 @@ class ShardClient:
         return self.shard_map.version
 
     def refresh_map(self, timeout: float = 2.0) -> ShardMap:
-        """Re-fetch from the director; adopt only if strictly newer.
+        """Re-fetch from a director; adopt only if strictly newer.
 
         Safe to call from several threads at once: each fetch happens
         outside the lock, and adoption compares versions under it — a
         slow fetch returning an older map can never clobber a newer one.
+        Endpoints are tried in rotation with jittered backoff between
+        full rounds, so one dead director replica degrades a refresh to
+        a failover, not a failure.
         """
-        if self.director is None:
+        if not self.directors:
             return self.shard_map
         with self._lock:
             self._fetches += 1
             seq = self._fetches
-        fetched = fetch_shard_map(
-            self.director, sender=f"{self.name}-map", seq=seq,
-            timeout=timeout, wire_format=self.wire_format,
-        )
-        return self._adopt(fetched)
+            # Rotate the contact order per refresh so a permanently-dead
+            # first endpoint is not re-probed first by every caller.
+            offset = seq % len(self.directors)
+            endpoints = self.directors[offset:] + self.directors[:offset]
+        give_up_at = time.monotonic() + timeout
+        last: Exception | None = None
+        round_no = 0
+        while True:
+            for address in endpoints:
+                remaining = give_up_at - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    fetched = _fetch_map(
+                        address, sender=f"{self.name}-map", seq=seq,
+                        timeout=max(0.1, min(remaining, timeout / 2)),
+                        wire_format=self.wire_format,
+                    )
+                except ShardClientError as exc:
+                    last = exc
+                    continue
+                return self._adopt(fetched)
+            pause = min(MAP_RETRY_CAP, MAP_RETRY_BASE * (2 ** round_no))
+            pause *= 0.5 + self._rng.random()
+            round_no += 1
+            if time.monotonic() + pause >= give_up_at:
+                break
+            time.sleep(pause)
+        raise ShardClientError(
+            f"no director endpoint answered in {timeout}s "
+            f"(tried {len(endpoints)}): {last}"
+        ) from last
 
     def _adopt(self, new_map: ShardMap) -> ShardMap:
         with self._lock:

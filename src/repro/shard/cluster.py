@@ -28,6 +28,7 @@ from pathlib import Path
 from repro.net.client import LiveClient
 from repro.net.cluster import LocalCluster
 from repro.shard.director import ShardDirector
+from repro.shard.metadir import ReplicatedShardDirector
 from repro.shard.shardmap import (
     GroupInfo,
     ShardError,
@@ -37,7 +38,14 @@ from repro.shard.shardmap import (
 
 
 class ShardedCluster:
-    """N independent reconfigurable-SMR groups behind one shard map."""
+    """N independent reconfigurable-SMR groups behind one shard map.
+
+    ``director_replicas=0`` (the default) runs the classic in-process
+    :class:`ShardDirector`; ``director_replicas>=1`` instead spawns a
+    metadir group of that many ``repro serve --app metadir`` processes —
+    the replicated control plane — and drives admin operations through
+    the crash-resumable intent protocol.
+    """
 
     def __init__(
         self,
@@ -53,15 +61,24 @@ class ShardedCluster:
         verbose: bool = False,
         durable: bool = False,
         reserve: int = 2,
+        handoff: str | None = None,
+        director_replicas: int = 0,
+        director_hold_ms: float = 0.0,
+        director_takeover_ms: float = 1500.0,
+        director_durable: bool = False,
     ):
         if groups < 1:
             raise ShardError("need at least one serving group")
         if spare_groups < 0:
             raise ShardError("spare_groups cannot be negative")
+        if director_replicas < 0:
+            raise ShardError("director_replicas cannot be negative")
         self.host = host
         self.seed = seed
         self.wire = wire
         self.verbose = verbose
+        self.handoff = handoff
+        self.director_replicas = director_replicas
         self.log_dir = Path(
             log_dir
             if log_dir is not None
@@ -89,6 +106,7 @@ class ShardedCluster:
                 verbose=verbose,
                 durable=durable,
                 reserve=reserve,
+                handoff=handoff,
             )
             self.clusters[name] = cluster
             self.members[name] = list(cluster.initial)
@@ -111,7 +129,27 @@ class ShardedCluster:
                 "--shard-ranges", format_ranges(ranges),
                 "--shard-version", str(self.initial_map.version),
             ]
-        self.director: ShardDirector | None = None
+        self.director: ShardDirector | ReplicatedShardDirector | None = None
+        #: the metadir group's processes (director_replicas >= 1 only).
+        self.director_cluster: LocalCluster | None = None
+        if director_replicas >= 1:
+            self.director_cluster = LocalCluster(
+                replicas=director_replicas,
+                host=host,
+                app="metadir",
+                seed=seed + 1000,
+                wire=wire,
+                log_dir=self.log_dir / "dir",
+                python=python,
+                verbose=verbose,
+                durable=director_durable,
+                reserve=1,
+                extra_args=[
+                    "--metadir-driver",
+                    "--metadir-hold", str(director_hold_ms),
+                    "--metadir-takeover", str(director_takeover_ms),
+                ],
+            )
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -120,18 +158,35 @@ class ShardedCluster:
         give_up_at = time.monotonic() + timeout
         for cluster in self.clusters.values():
             cluster.start(wait=False)
+        if self.director_cluster is not None:
+            self.director_cluster.start(wait=False)
         if wait:
             for name, cluster in self.clusters.items():
                 remaining = max(1.0, give_up_at - time.monotonic())
                 cluster.wait_ready(cluster.initial, timeout=remaining)
-        self.director = ShardDirector(
-            self.initial_map, host=self.host, wire_format=self.wire
+        if self.director_cluster is None:
+            self.director = ShardDirector(
+                self.initial_map, host=self.host, wire_format=self.wire
+            )
+            return
+        remaining = max(1.0, give_up_at - time.monotonic())
+        self.director_cluster.wait_ready(
+            self.director_cluster.initial, timeout=remaining
         )
+        handle = ReplicatedShardDirector(
+            self.director_addresses(),
+            view=list(self.director_cluster.initial),
+            wire_format=self.wire,
+        )
+        handle.init_map(self.initial_map)
+        self.director = handle
 
     def shutdown(self) -> None:
         if self.director is not None:
             self.director.close()
             self.director = None
+        if self.director_cluster is not None:
+            self.director_cluster.shutdown()
         for cluster in self.clusters.values():
             cluster.shutdown()
 
@@ -147,20 +202,41 @@ class ShardedCluster:
     def shard_map(self) -> ShardMap:
         return self._director().shard_map
 
-    def _director(self) -> ShardDirector:
+    def _director(self) -> "ShardDirector | ReplicatedShardDirector":
         if self.director is None:
             raise ShardError("cluster not started (no director)")
         return self.director
 
     def director_address(self) -> tuple[str, int]:
-        return self._director().address
+        if self.director_cluster is not None:
+            return self.director_cluster.addresses[self.director_cluster.initial[0]]
+        director = self._director()
+        assert isinstance(director, ShardDirector)
+        return director.address
+
+    def director_addresses(self) -> dict[str, tuple[str, int]]:
+        """Address book of every director endpoint clients can fetch from."""
+        if self.director_cluster is not None:
+            return {
+                name: self.director_cluster.addresses[name]
+                for name in self.director_cluster.initial
+            }
+        return {"director": self.director_address()}
+
+    def kill_director(self, name: str) -> None:
+        """SIGKILL one metadir replica (the failover tests' hammer)."""
+        if self.director_cluster is None:
+            raise ShardError("no replicated director to kill")
+        self.director_cluster.kill(name)
 
     def client(self, name: str = "shard-cli", **kwargs) -> "ShardClient":
         from repro.shard.client import ShardClient
 
         kwargs.setdefault("wire_format", self.wire)
         return ShardClient(
-            name, director=self._director().address, **kwargs
+            name,
+            director=list(self.director_addresses().values()),
+            **kwargs,
         )
 
     def group_client(self, group: str, name: str = "admin") -> LiveClient:

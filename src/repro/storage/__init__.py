@@ -21,6 +21,7 @@ from repro.storage.records import (
     CheckpointRecord,
     WalAccept,
     WalDecide,
+    WalDirtyOverlap,
     WalEpochOpen,
     WalPromise,
 )
@@ -38,6 +39,7 @@ __all__ = [
     "CheckpointRecord",
     "WalAccept",
     "WalDecide",
+    "WalDirtyOverlap",
     "WalEpochOpen",
     "WalPromise",
     "InstanceDurability",

@@ -73,6 +73,24 @@ class WalEpochOpen:
 
 
 @dataclass(frozen=True, slots=True)
+class WalDirtyOverlap:
+    """The tail a dirty hand-off carried across a seal, before it decided.
+
+    Written at the instant ``epoch`` seals under ``handoff="dirty"``, and
+    *before* the tail is re-proposed into ``epoch + 1`` (durable before
+    send). The re-proposals themselves are plain engine traffic with no
+    durable trace until accepted somewhere — so a replica SIGKILLed
+    between the seal and the accepts would otherwise silently drop the
+    tail it had just promised to carry. Recovery replays the record
+    through the same re-propose path; apply-time dedup makes a replay of
+    an already-decided payload a no-op.
+    """
+
+    epoch: int
+    payloads: tuple[Any, ...]
+
+
+@dataclass(frozen=True, slots=True)
 class CheckpointRecord:
     """One durable state-machine checkpoint.
 

@@ -38,6 +38,7 @@ from repro.storage.records import (
     CheckpointRecord,
     WalAccept,
     WalDecide,
+    WalDirtyOverlap,
     WalEpochOpen,
     WalPromise,
 )
@@ -80,6 +81,8 @@ class RecoveredState:
     epochs: list[WalEpochOpen]
     #: instance id -> folded state.
     instances: dict[str, InstanceState]
+    #: dirty hand-off tails not yet proven decided, in epoch order.
+    dirty_overlaps: list[WalDirtyOverlap] = field(default_factory=list)
     #: intact WAL records read across all segments.
     records: int = 0
     #: trailing bytes truncated from torn segments.
@@ -148,6 +151,19 @@ def fold_records(records: list[Any]) -> tuple[dict[int, WalEpochOpen], dict[str,
         # Unknown record types are skipped, not fatal: an older build must
         # be able to reopen a directory written by a newer one.
     return epochs, instances
+
+
+def fold_dirty_overlaps(records: list[Any]) -> dict[int, WalDirtyOverlap]:
+    """Fold dirty hand-off tail records, one per sealed epoch.
+
+    First-wins per epoch for the same reason decides are: an epoch seals
+    once, so any duplicate (compaction crash) is identical.
+    """
+    overlaps: dict[int, WalDirtyOverlap] = {}
+    for record in records:
+        if isinstance(record, WalDirtyOverlap):
+            overlaps.setdefault(record.epoch, record)
+    return overlaps
 
 
 class NullDurability:
@@ -296,6 +312,7 @@ class ReplicaStore:
             records.extend(segment_records)
             torn += segment_torn
         epoch_opens, instances = fold_records(records)
+        overlap_folds = fold_dirty_overlaps(records)
         floor = (
             checkpoint.exec_epoch
             if checkpoint is not None
@@ -311,10 +328,18 @@ class ReplicaStore:
             if not state.empty
             and ((epoch := _instance_epoch(instance)) is None or epoch >= floor)
         }
+        # A tail record for sealed epoch e feeds re-proposals into e+1; it
+        # is dead weight only once execution has moved past that epoch.
+        overlaps = [
+            overlap_folds[e]
+            for e in sorted(overlap_folds)
+            if e + 1 >= floor
+        ]
         return RecoveredState(
             checkpoint=checkpoint,
             epochs=epochs,
             instances=live_instances,
+            dirty_overlaps=overlaps,
             records=len(records),
             torn_bytes=torn,
         )
@@ -402,6 +427,16 @@ class ReplicaStore:
         self._epochs_logged[config.epoch] = record
         self.append(record)
 
+    def log_dirty_overlap(self, epoch: int, payloads: list[Any]) -> None:
+        """Record a dirty hand-off tail about to be re-proposed.
+
+        Must land before any re-proposal message can reach a socket
+        (the caller runs inside the dispatch group window, whose close
+        fsyncs before the transport writers run) — otherwise a crash
+        between seal and accept silently drops the tail.
+        """
+        self.append(WalDirtyOverlap(epoch, tuple(payloads)))
+
     # -- checkpoints ---------------------------------------------------------
 
     def checkpoint(
@@ -462,11 +497,15 @@ class ReplicaStore:
             segment_records, _ = read_wal_file(segment, truncate=False)
             records.extend(segment_records)
         epoch_opens, instances = fold_records(records)
+        overlap_folds = fold_dirty_overlaps(records)
 
         keep: list[Any] = []
         for epoch in sorted(epoch_opens):
             if epoch >= floor_epoch:
                 keep.append(epoch_opens[epoch])
+        for epoch in sorted(overlap_folds):
+            if epoch + 1 >= floor_epoch:
+                keep.append(overlap_folds[epoch])
         for instance in sorted(instances):
             epoch = _instance_epoch(instance)
             if epoch is not None and epoch < floor_epoch:

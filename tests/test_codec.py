@@ -50,6 +50,7 @@ from repro.storage.records import (
     CheckpointRecord,
     WalAccept,
     WalDecide,
+    WalDirtyOverlap,
     WalEpochOpen,
     WalPromise,
 )
@@ -282,6 +283,11 @@ STRATEGIES: dict[type, st.SearchStrategy] = {
     WalDecide: st.builds(WalDecide, names, slots, st.one_of(commands, values)),
     WalEpochOpen: st.builds(
         WalEpochOpen, configurations, st.one_of(st.none(), memberships)
+    ),
+    WalDirtyOverlap: st.builds(
+        WalDirtyOverlap,
+        epochs,
+        st.lists(st.one_of(commands, batches), max_size=4).map(tuple),
     ),
     CheckpointRecord: st.builds(
         CheckpointRecord,

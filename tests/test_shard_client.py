@@ -332,6 +332,106 @@ class TestHistoryRecorderCompat:
         assert issubclass(ShardClientError, LiveClientError)
 
 
+class TestDirectorFetchFailover:
+    """The jittered-retry fetch path (satellite of the replicated
+    director): a flapping or partially-dead director costs retries and
+    rotation, never an error a cached map could have absorbed."""
+
+    def test_fetch_retries_through_a_flap_with_jittered_backoff(self, monkeypatch):
+        import random
+
+        from repro.shard import client as client_mod
+
+        calls = []
+        pauses = []
+        truth = make_map("g1", "g2")
+
+        def flaky(address, **kwargs):
+            calls.append(address)
+            if len(calls) < 3:
+                raise ShardClientError("connection refused")
+            return truth
+
+        monkeypatch.setattr(client_mod, "_fetch_map", flaky)
+        monkeypatch.setattr(client_mod.time, "sleep", pauses.append)
+        fetched = client_mod.fetch_shard_map(
+            ("127.0.0.1", 9101), rng=random.Random(3)
+        )
+        assert fetched is truth
+        assert len(calls) == 3
+        # Two backoffs, exponential base with jitter in [0.5x, 1.5x).
+        assert len(pauses) == 2
+        assert 0.5 * 0.05 <= pauses[0] < 1.5 * 0.05
+        assert 0.5 * 0.10 <= pauses[1] < 1.5 * 0.10
+
+    def test_fetch_gives_up_after_the_attempt_budget(self, monkeypatch):
+        from repro.shard import client as client_mod
+
+        calls = []
+
+        def dead(address, **kwargs):
+            calls.append(address)
+            raise ShardClientError("connection refused")
+
+        monkeypatch.setattr(client_mod, "_fetch_map", dead)
+        monkeypatch.setattr(client_mod.time, "sleep", lambda _s: None)
+        with pytest.raises(ShardClientError, match="after retries"):
+            client_mod.fetch_shard_map(("127.0.0.1", 9101), attempts=3)
+        assert len(calls) == 3
+
+    def test_refresh_rotates_past_dead_endpoints(self, monkeypatch):
+        from repro.shard import client as client_mod
+
+        truth = make_map("g1", "g2")
+        newer = truth.with_move(0, 8, "g2")
+        live = ("127.0.0.1", 9303)
+        attempted = []
+
+        def selective(address, **kwargs):
+            attempted.append(address)
+            if address != live:
+                raise ShardClientError("connection refused")
+            return newer
+
+        monkeypatch.setattr(client_mod, "_fetch_map", selective)
+        world = World(truth)
+        client = make_client(
+            world,
+            director=[("127.0.0.1", 9301), ("127.0.0.1", 9302), live],
+            seed=9,
+        )
+        refreshed = client.refresh_map(timeout=5.0)
+        assert refreshed.version == newer.version
+        assert client.map_version == newer.version
+        # The dead endpoints cost one attempt each, not the refresh.
+        assert live in attempted
+
+    def test_dead_director_with_usable_hint_still_places_the_request(
+        self, monkeypatch
+    ):
+        # Satellite of the warm-cache story: the director group being
+        # unreachable must not fail a request the redirect hint can
+        # route — refresh_map's error is swallowed on the submit path.
+        from repro.shard import client as client_mod
+
+        def dead(address, **kwargs):
+            raise ShardClientError("connection refused")
+
+        monkeypatch.setattr(client_mod, "_fetch_map", dead)
+        world = World(make_map("g1", "g2"))
+        client = make_client(
+            world, shard_map=world.truth, director=("127.0.0.1", 9301)
+        )
+        key = key_in(world.truth, "g1")
+        point = key_point(key)
+        world.move(point - point % 8, min(point + 8, HASH_SPACE), "g2")
+
+        reply = client.submit("set", (key, "v"), deadline=5.0)
+        assert reply.value == "ok"
+        assert client.map_version == world.truth.version
+        assert [g for g, _ in world.calls] == ["g1", "g2"]
+
+
 class TestLeaseSentinelReplies:
     def test_hint_in_lease_reply_still_patches_cache(self):
         # A leaseholding leader replies to reads with the sentinel
